@@ -1,0 +1,57 @@
+"""Ablation — the engine optimisations of Section 4 and the decode cache.
+
+The paper attributes the speed of its generated simulators to (1) the
+precomputed per-(place, type) sorted transition lists, (2) evaluating places
+in reverse topological order so only feedback places need two-list storage,
+and (3) decoding instructions once and caching the decoded tokens.  This
+benchmark measures the StrongARM simulator with each optimisation disabled
+and verifies the simulated behaviour never changes (they are pure
+performance knobs).
+"""
+
+import pytest
+
+from repro.core import EngineOptions
+from repro.processors import build_strongarm_processor
+from repro.workloads import get_workload
+
+from conftest import BENCH_SCALE, record_result
+
+CONFIGURATIONS = {
+    "all-optimisations": dict(engine_options=EngineOptions()),
+    "no-sorted-transitions": dict(
+        engine_options=EngineOptions(use_sorted_transitions=False)
+    ),
+    "two-list-everywhere": dict(engine_options=EngineOptions(two_list_everywhere=True)),
+    "no-decode-cache": dict(engine_options=EngineOptions(), use_decode_cache=False),
+}
+
+_reference = {}
+
+
+@pytest.mark.parametrize("configuration", list(CONFIGURATIONS))
+def test_ablation_engine_optimizations(benchmark, configuration):
+    workload = get_workload("crc", scale=BENCH_SCALE)
+    kwargs = CONFIGURATIONS[configuration]
+
+    def run():
+        processor = build_strongarm_processor(**kwargs)
+        processor.load_program(workload.program)
+        stats = processor.run()
+        return processor, stats
+
+    processor, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    wall = stats.wall_time_seconds or 1e-9
+    row = {
+        "configuration": configuration,
+        "cycles": stats.cycles,
+        "kcycles_per_sec": stats.cycles / wall / 1e3,
+        "r0": hex(processor.register(0)),
+    }
+    benchmark.extra_info.update({k: v for k, v in row.items() if k != "r0"})
+    record_result("Ablation - engine optimisations (Section 4)", row)
+
+    key = (stats.cycles, stats.instructions, processor.register(0))
+    reference = _reference.setdefault("key", key)
+    assert key == reference, "disabling an optimisation changed simulated behaviour"

@@ -1,0 +1,46 @@
+"""Figures 1 & 2 — modeling complexity of RCPN vs an equivalent CPN.
+
+The paper's Figures 1 and 2 argue qualitatively that the RCPN of a pipeline
+mirrors its block diagram while the equivalent CPN needs complement places
+and circular arcs for every capacity constraint.  This benchmark makes the
+claim quantitative for every processor model in the repository: it converts
+each RCPN to a standard CPN and reports the structural blow-up.
+"""
+
+import pytest
+
+from repro.analysis import model_complexity_table
+from repro.processors import (
+    build_example_processor,
+    build_strongarm_processor,
+    build_xscale_processor,
+)
+
+from conftest import record_result
+
+MODELS = {
+    "figure5-example": build_example_processor,
+    "strongarm": build_strongarm_processor,
+    "xscale": build_xscale_processor,
+}
+
+
+@pytest.mark.parametrize("model", list(MODELS))
+def test_fig02_model_complexity(benchmark, model):
+    builder = MODELS[model]
+
+    def build_and_convert():
+        return model_complexity_table({model: builder()})[0]
+
+    row = benchmark.pedantic(build_and_convert, rounds=1, iterations=1)
+
+    benchmark.extra_info.update(
+        {key: value for key, value in row.items() if isinstance(value, (int, float))}
+    )
+    record_result("Figures 1/2 - RCPN vs CPN structural complexity", row)
+
+    # The RCPN stays close to the block diagram; the CPN pays extra places
+    # (one complement place per finite stage) and extra circular arcs.
+    assert row["cpn_places"] > row["rcpn_places"]
+    assert row["cpn_arcs"] > row["rcpn_arcs"]
+    assert row["arc_blowup"] >= 1.5

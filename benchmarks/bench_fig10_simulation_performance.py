@@ -1,0 +1,53 @@
+"""Figure 10 — simulation performance (simulated cycles per host second).
+
+The paper runs six benchmarks on SimpleScalar-ARM and on the generated
+XScale and StrongARM simulators and reports million-cycles-per-second for
+each.  This module regenerates the same rows: one benchmark per (simulator,
+workload) pair, with throughput, CPI and the speed-up over the SimpleScalar
+baseline recorded in ``extra_info`` and in the end-of-session table.
+
+The absolute numbers are host- and language-dependent (see EXPERIMENTS.md);
+the rows reproduce the figure's *structure*: same simulators, same
+benchmarks, same metric.
+"""
+
+import pytest
+
+from repro.analysis import run_processor, run_simplescalar
+from repro.analysis.metrics import run_inorder
+from repro.processors import build_strongarm_processor, build_xscale_processor
+from repro.workloads import get_workload, workload_names
+
+from conftest import BENCH_SCALE, record_result
+
+SIMULATORS = {
+    "simplescalar-arm": lambda w: run_simplescalar(w),
+    "rcpn-xscale": lambda w: run_processor(build_xscale_processor, w, label="rcpn-xscale"),
+    "rcpn-strongarm": lambda w: run_processor(build_strongarm_processor, w, label="rcpn-strongarm"),
+    "inorder-baseline": lambda w: run_inorder(w),
+}
+
+
+@pytest.mark.parametrize("kernel", workload_names())
+@pytest.mark.parametrize("simulator", list(SIMULATORS))
+def test_fig10_simulation_performance(benchmark, simulator, kernel):
+    workload = get_workload(kernel, scale=BENCH_SCALE)
+    runner = SIMULATORS[simulator]
+
+    result = benchmark.pedantic(lambda: runner(workload), rounds=1, iterations=1)
+
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    benchmark.extra_info["cycles_per_second"] = round(result.cycles_per_second)
+    benchmark.extra_info["cpi"] = round(result.cpi, 3)
+    record_result(
+        "Figure 10 - simulation performance (simulated kcycles / host second)",
+        {
+            "benchmark": kernel,
+            "simulator": simulator,
+            "kcycles_per_sec": result.cycles_per_second / 1e3,
+            "cycles": result.cycles,
+            "cpi": result.cpi,
+        },
+    )
+    assert result.finish_reason == "halt"
+    assert result.cycles > 0

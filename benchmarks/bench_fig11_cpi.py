@@ -1,0 +1,46 @@
+"""Figure 11 — clocks per instruction (CPI) accuracy.
+
+The paper compares the CPI reported by SimpleScalar-ARM and by the
+generated StrongARM simulator on the six benchmarks and argues the two
+track each other within ~10%.  This module regenerates the figure's rows
+and asserts the reproduction-level claim: both CPIs are plausible for a
+single-issue five-stage core and they stay within a factor-of-1.5 band of
+each other.
+"""
+
+import pytest
+
+from repro.analysis import run_processor, run_simplescalar
+from repro.processors import build_strongarm_processor
+from repro.workloads import get_workload, workload_names
+
+from conftest import BENCH_SCALE, record_result
+
+
+@pytest.mark.parametrize("kernel", workload_names())
+def test_fig11_cpi(benchmark, kernel):
+    workload = get_workload(kernel, scale=BENCH_SCALE)
+
+    def measure():
+        baseline = run_simplescalar(workload)
+        rcpn = run_processor(build_strongarm_processor, workload, label="rcpn-strongarm")
+        return baseline, rcpn
+
+    baseline, rcpn = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    benchmark.extra_info["simplescalar_cpi"] = round(baseline.cpi, 3)
+    benchmark.extra_info["rcpn_strongarm_cpi"] = round(rcpn.cpi, 3)
+    record_result(
+        "Figure 11 - clocks per instruction (CPI)",
+        {
+            "benchmark": kernel,
+            "simplescalar_cpi": baseline.cpi,
+            "rcpn_strongarm_cpi": rcpn.cpi,
+            "ratio": rcpn.cpi / baseline.cpi,
+        },
+    )
+    assert baseline.instructions == rcpn.instructions
+    assert baseline.final_r0 == rcpn.final_r0
+    assert 1.0 <= baseline.cpi <= 4.0
+    assert 1.0 <= rcpn.cpi <= 4.0
+    assert rcpn.cpi == pytest.approx(baseline.cpi, rel=0.5)

@@ -1,0 +1,52 @@
+"""Section 5 — modeling-effort inventory.
+
+The paper reports that the ARM instruction set was captured with six
+operation classes and that the StrongARM model consists of six sub-nets
+(plus the instruction-independent one).  This benchmark regenerates that
+inventory for each model: operation classes, sub-nets, places, transitions
+and the size of the generated dispatch tables — the quantities that stand in
+for the paper's "one man-day / three man-days" modeling-effort narrative.
+"""
+
+import pytest
+
+from repro.processors import (
+    build_example_processor,
+    build_strongarm_processor,
+    build_xscale_processor,
+)
+
+from conftest import record_result
+
+MODELS = {
+    "figure5-example": build_example_processor,
+    "strongarm": build_strongarm_processor,
+    "xscale": build_xscale_processor,
+}
+
+
+@pytest.mark.parametrize("model", list(MODELS))
+def test_sec5_model_inventory(benchmark, model):
+    processor = benchmark.pedantic(MODELS[model], rounds=1, iterations=1)
+
+    size = processor.complexity()
+    report = processor.generation_report
+    row = {
+        "model": model,
+        "operation_classes": size["operation_classes"],
+        "instruction_subnets": sum(
+            1 for s in processor.net.subnets.values() if not s.is_instruction_independent
+        ),
+        "stages": size["stages"],
+        "places": size["places"],
+        "transitions": size["transitions"],
+        "dispatch_entries": report.dispatch_entries,
+        "two_list_places": len(report.two_list_places),
+    }
+    benchmark.extra_info.update(row)
+    record_result("Section 5 - model inventory (modeling effort)", row)
+
+    if model in ("strongarm", "xscale"):
+        assert row["operation_classes"] == 6      # paper: six operation classes
+        assert row["instruction_subnets"] == 6    # paper: six sub-nets for StrongARM
+    assert row["places"] == len(report.place_order)

@@ -1,0 +1,38 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's figures.  Results are
+accumulated in a module-level registry and printed as a table at the end of
+the session so the harness output reads like the paper's evaluation section.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+#: Scale factor for the benchmark kernels (1 keeps the harness fast; raise it
+#: for more stable throughput measurements).
+BENCH_SCALE = 1
+
+_RESULTS = defaultdict(list)
+
+
+def record_result(figure, row):
+    """Register one row of a figure's table for the end-of-session report."""
+    _RESULTS[figure].append(row)
+
+
+@pytest.fixture(scope="session")
+def figure_results():
+    return _RESULTS
+
+
+def pytest_terminal_summary(terminalreporter):
+    from repro.analysis import format_table
+
+    for figure in sorted(_RESULTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line("=" * 78)
+        terminalreporter.write_line(figure)
+        terminalreporter.write_line("=" * 78)
+        for line in format_table(_RESULTS[figure]).splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,44 @@
+"""Reproduce the paper's headline comparison on one benchmark.
+
+Runs the crc kernel on the functional reference, the SimpleScalar-style
+fixed baseline, and the generated StrongARM and XScale RCPN simulators, then
+prints the Figure 10/11 quantities: simulation throughput (simulated cycles
+per host second) and CPI.
+
+Run with:  python examples/strongarm_vs_simplescalar.py [kernel] [scale]
+"""
+
+import sys
+
+from repro.analysis import format_table, run_functional, run_processor, run_simplescalar
+from repro.processors import build_strongarm_processor, build_xscale_processor
+from repro.workloads import get_workload
+
+
+def main():
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "crc"
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    workload = get_workload(kernel, scale=scale)
+
+    functional = run_functional(workload)
+    baseline = run_simplescalar(workload)
+    strongarm = run_processor(build_strongarm_processor, workload, label="rcpn-strongarm")
+    xscale = run_processor(build_xscale_processor, workload, label="rcpn-xscale")
+
+    rows = []
+    for result in (baseline, xscale, strongarm):
+        rows.append(
+            {
+                "simulator": result.simulator,
+                "cycles": result.cycles,
+                "cpi": result.cpi,
+                "kcycles_per_sec": result.cycles_per_second / 1e3,
+                "r0_matches_functional": result.final_r0 == functional.final_r0,
+            }
+        )
+    print("workload: %s (scale %d, %d instructions)" % (kernel, scale, functional.instructions))
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Developer smoke check: run every kernel on the StrongARM RCPN model and
+compare the architectural result and instruction count against the
+functional simulator and the fixed baseline."""
+
+from repro.baseline import FunctionalSimulator, SimpleScalarLikeSimulator
+from repro.processors.strongarm import build_strongarm_processor
+from repro.workloads import all_workloads
+
+
+def main():
+    for workload in all_workloads(scale=1):
+        functional = FunctionalSimulator()
+        functional.load_program(workload.program)
+        fstats = functional.run()
+
+        baseline = SimpleScalarLikeSimulator()
+        baseline.load_program(workload.program)
+        bstats = baseline.run()
+
+        rcpn = build_strongarm_processor()
+        rcpn.load_program(workload.program)
+        rstats = rcpn.run()
+
+        print(
+            "%-10s func: n=%-7d r0=%08x | base: n=%-7d cyc=%-8d cpi=%.2f r0=%08x | "
+            "rcpn: n=%-7d cyc=%-8d cpi=%.2f r0=%08x %s"
+            % (
+                workload.name,
+                fstats.instructions,
+                functional.register(0),
+                bstats.instructions,
+                bstats.cycles,
+                bstats.cpi,
+                baseline.register(0),
+                rstats.instructions,
+                rstats.cycles,
+                rstats.cpi,
+                rcpn.register(0),
+                rstats.finish_reason,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that legacy editable installs (``pip install -e . --no-use-pep517``
+or ``python setup.py develop``) work on machines without the ``wheel``
+package or network access.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

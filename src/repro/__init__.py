@@ -1,0 +1,47 @@
+"""repro: Reduced Colored Petri Net processor modeling and cycle-accurate
+simulator generation.
+
+Reproduction of "Generic Pipelined Processor Modeling and High Performance
+Cycle-Accurate Simulator Generation" (Reshadi & Dutt, DATE 2005).
+
+Sub-packages
+------------
+
+``repro.core``
+    The RCPN formalism (places, transitions, tokens, operation classes, the
+    register hazard model) and the generated cycle-accurate simulation
+    engine.
+``repro.cpn``
+    A Colored Petri Net substrate with analysis tools and the RCPN -> CPN
+    conversion.
+``repro.isa``
+    The ARM7-inspired instruction set: encoding, assembler, disassembler and
+    functional semantics.
+``repro.memory``
+    Main memory, caches and branch predictors.
+``repro.processors``
+    RCPN models: the paper's example processor, StrongARM, XScale and a
+    Tomasulo-style machine.
+``repro.baseline``
+    The fixed-architecture (SimpleScalar-style) cycle-accurate baseline and
+    a functional instruction-set simulator.
+``repro.workloads``
+    Benchmark kernels standing in for the MiBench/MediaBench/SPEC95
+    programs used in the paper.
+``repro.analysis``
+    Metrics, model-complexity counters and report helpers for the
+    experiments.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "cpn",
+    "isa",
+    "memory",
+    "processors",
+    "baseline",
+    "workloads",
+    "analysis",
+]

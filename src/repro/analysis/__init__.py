@@ -1,0 +1,25 @@
+"""Metrics, model-complexity counters and report helpers for the experiments."""
+
+from repro.analysis.metrics import (
+    BenchmarkResult,
+    average,
+    geometric_mean,
+    run_functional,
+    run_processor,
+    run_simplescalar,
+    speedup,
+)
+from repro.analysis.model_complexity import model_complexity_table
+from repro.analysis.report import format_table
+
+__all__ = [
+    "BenchmarkResult",
+    "run_functional",
+    "run_processor",
+    "run_simplescalar",
+    "speedup",
+    "average",
+    "geometric_mean",
+    "model_complexity_table",
+    "format_table",
+]

@@ -1,0 +1,43 @@
+"""Model-complexity accounting (the Figure 1 / Figure 2 experiment).
+
+The paper's qualitative claim is that an RCPN model stays close to the
+pipeline block diagram while the equivalent CPN blows up with complement
+places and circular arcs.  These helpers make that claim quantitative for
+any model in the repository.
+"""
+
+from __future__ import annotations
+
+from repro.cpn.convert import rcpn_to_cpn
+
+
+def model_complexity_table(models):
+    """Structural sizes of RCPN models and of their CPN conversions.
+
+    ``models`` maps a display name to an :class:`repro.core.RCPN` (or to a
+    :class:`repro.processors.common.Processor`, whose net is used).  Returns
+    a list of row dictionaries ready for printing.
+    """
+    rows = []
+    for name, model in models.items():
+        net = getattr(model, "net", model)
+        rcpn_size = net.complexity()
+        cpn = rcpn_to_cpn(net)
+        cpn_size = cpn.complexity()
+        rows.append(
+            {
+                "model": name,
+                "rcpn_places": rcpn_size["places"],
+                "rcpn_transitions": rcpn_size["transitions"],
+                "rcpn_arcs": rcpn_size["arcs"],
+                "subnets": rcpn_size["subnets"],
+                "operation_classes": rcpn_size["operation_classes"],
+                "cpn_places": cpn_size["places"],
+                "cpn_transitions": cpn_size["transitions"],
+                "cpn_arcs": cpn_size["arcs"],
+                "arc_blowup": (
+                    cpn_size["arcs"] / rcpn_size["arcs"] if rcpn_size["arcs"] else float("inf")
+                ),
+            }
+        )
+    return rows

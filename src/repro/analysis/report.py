@@ -1,0 +1,26 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+
+def format_table(rows, columns=None, floatfmt="%.2f"):
+    """Format a list of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value):
+        if isinstance(value, float):
+            return floatfmt % value
+        return str(value)
+
+    table = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in table)
+    return "\n".join([header, separator, body])

@@ -1,0 +1,26 @@
+"""Baseline simulators the RCPN-generated simulators are compared against.
+
+* :class:`FunctionalSimulator` — an instruction-set (functional) simulator;
+  the correctness reference every cycle-accurate model is validated against.
+* :class:`SimpleScalarLikeSimulator` — a faithful stand-in for
+  SimpleScalar-ARM (``sim-outorder``): a generic windowed simulator with a
+  fetch queue, register update unit, dependence vectors and an event queue,
+  paying its full generic cost every cycle.  This is the comparator of the
+  paper's Figures 10 and 11.
+* :class:`InOrderPipelineSimulator` — an additional, stronger baseline: a
+  hand-written simulator specialised for exactly one five-stage in-order
+  core.
+"""
+
+from repro.baseline.functional import FunctionalSimulator, FunctionalStatistics
+from repro.baseline.inorder import InOrderConfig, InOrderPipelineSimulator
+from repro.baseline.simplescalar import SimpleScalarConfig, SimpleScalarLikeSimulator
+
+__all__ = [
+    "FunctionalSimulator",
+    "FunctionalStatistics",
+    "SimpleScalarConfig",
+    "SimpleScalarLikeSimulator",
+    "InOrderConfig",
+    "InOrderPipelineSimulator",
+]

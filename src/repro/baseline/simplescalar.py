@@ -1,0 +1,368 @@
+"""A SimpleScalar-style fixed-architecture cycle-accurate simulator.
+
+The paper's Figures 10 and 11 compare the generated RCPN simulators against
+"SimpleScalarArm" — SimpleScalar's ``sim-outorder`` retargeted to ARM and
+configured for the StrongARM.  ``sim-outorder`` is a *generic* simulator: it
+models every processor through the same machinery — an instruction fetch
+queue, a register update unit (RUU, the instruction window), a load/store
+queue, creator/consumer dependence vectors and a writeback event queue —
+and walks those fixed-size structures every cycle no matter how simple the
+modeled core is.  That per-cycle generic overhead (plus re-decoding the
+instruction at dispatch) is exactly what the paper's generated simulators
+avoid, and it is why the paper observes an order-of-magnitude speed gap.
+
+This module reproduces that structure faithfully (at reduced scale):
+
+* ``ruu_commit``   — scan the window head and retire completed entries,
+* ``ruu_writeback`` — drain the event queue, wake up dependents through the
+  output-dependence lists,
+* ``ruu_issue``    — scan the whole window, oldest first, for ready entries
+  (in-order issue: the scan stops at the first not-ready entry),
+* ``ruu_dispatch`` — pop the fetch queue, decode the raw word, execute
+  functionally, build dependence vectors, allocate an RUU entry,
+* ``ruu_fetch``    — fetch through the instruction cache into the fetch
+  queue with a (static not-taken) branch predictor lookup.
+
+Timing rules match the StrongARM model used elsewhere in this repository:
+single issue, 1-cycle ALU, early-termination multiplier, data-cache latency
+charged at issue of memory operations, taken branches squash the fetch
+queue and restart fetching (about a two-cycle penalty).
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import insort
+from dataclasses import dataclass, field
+
+from repro.core.statistics import SimulationStatistics
+from repro.isa.alu import multiply_early_termination_cycles
+from repro.isa.conditions import Condition
+from repro.isa.encoding import decode
+from repro.isa.instructions import (
+    Branch,
+    DataOpcode,
+    DataProcessing,
+    LoadStoreMultiple,
+    Multiply,
+)
+from repro.isa.registers import NUM_REGISTERS, PC
+from repro.isa.semantics import CPUState, execute
+from repro.memory.branch_predictor import StaticNotTakenPredictor
+from repro.memory.memory_system import MemorySystem, MemorySystemConfig
+
+#: Pseudo register index used for the condition flags in dependence vectors.
+FLAGS_REG = NUM_REGISTERS
+
+
+@dataclass
+class SimpleScalarConfig:
+    """Fixed micro-architecture parameters (sim-outorder style).
+
+    The defaults mirror the paper's setup: "we disabled all checkings and
+    used simplest parameter values" — single issue, a small window, a small
+    fetch queue.
+    """
+
+    memory: MemorySystemConfig = field(default_factory=MemorySystemConfig)
+    ruu_size: int = 16
+    ifq_size: int = 4
+    issue_width: int = 1
+    decode_width: int = 1
+    commit_width: int = 2
+    max_cycles: int = 10_000_000
+
+
+class _RUUEntry:
+    """One instruction window entry (SimpleScalar's ``struct RUU_station``)."""
+
+    __slots__ = (
+        "seq",
+        "pc",
+        "word",
+        "opclass",
+        "dispatched_cycle",
+        "issued",
+        "completed",
+        "pending_inputs",
+        "output_deps",
+        "dest_regs",
+        "exec_latency",
+        "mem_addresses",
+        "mem_is_write",
+        "is_halt",
+        "squashed",
+    )
+
+    def __init__(self, seq, pc, word, opclass, dest_regs, exec_latency, mem_addresses,
+                 mem_is_write, is_halt):
+        self.seq = seq
+        self.pc = pc
+        self.word = word
+        self.opclass = opclass
+        self.dispatched_cycle = 0
+        self.issued = False
+        self.completed = False
+        self.pending_inputs = 0
+        self.output_deps = []
+        self.dest_regs = dest_regs
+        self.exec_latency = exec_latency
+        self.mem_addresses = mem_addresses
+        self.mem_is_write = mem_is_write
+        self.is_halt = is_halt
+        self.squashed = False
+
+
+class SimpleScalarLikeSimulator:
+    """The generic windowed simulator playing SimpleScalar-ARM's role."""
+
+    def __init__(self, config=None):
+        self.config = config or SimpleScalarConfig()
+        self.memory = MemorySystem(self.config.memory)
+        self.predictor = StaticNotTakenPredictor()
+        self.stats = SimulationStatistics()
+        self.state = CPUState()
+        self.reset()
+
+    def reset(self):
+        self.state = CPUState()
+        self.stats = SimulationStatistics()
+        self.cycle = 0
+        self.seq = 0
+        self.fetch_pc = 0
+        self.fetch_enabled = True
+        self.halt_committed = False
+        self.icache_busy = 0
+        self.fetch_stall = 0
+        self.pending_fetch = None
+        # Fixed-size structures walked every cycle.
+        self.ifq = []
+        self.ruu = [None] * self.config.ruu_size
+        self.ruu_head = 0
+        self.ruu_tail = 0
+        self.ruu_count = 0
+        self.event_queue = []  # sorted list of (complete_cycle, seq, entry)
+        # Creator vector: architectural register -> producing RUU entry.
+        self.create_vector = {}
+
+    # -- program loading -----------------------------------------------------
+    def load_program(self, program):
+        self.memory.load_program(program)
+        self.state.pc = program.entry
+        self.fetch_pc = program.entry
+
+    # -- helpers ---------------------------------------------------------------
+    @staticmethod
+    def _reads_flags(instr):
+        if instr.cond != Condition.AL:
+            return True
+        if isinstance(instr, DataProcessing):
+            return instr.opcode in (DataOpcode.ADC, DataOpcode.SBC, DataOpcode.RSC)
+        return False
+
+    @staticmethod
+    def _writes_flags(instr):
+        if isinstance(instr, DataProcessing):
+            return instr.set_flags or not instr.opcode.writes_rd
+        if isinstance(instr, Multiply):
+            return instr.set_flags
+        return False
+
+    def _source_regs(self, instr):
+        regs = [r for r in instr.source_registers() if r != PC]
+        if self._reads_flags(instr):
+            regs.append(FLAGS_REG)
+        return regs
+
+    def _dest_regs(self, instr):
+        regs = [r for r in instr.destination_registers() if r != PC]
+        if self._writes_flags(instr):
+            regs.append(FLAGS_REG)
+        return regs
+
+    # -- pipeline stages (sim-outorder main-loop order) ------------------------
+    def _ruu_commit(self):
+        committed = 0
+        while committed < self.config.commit_width and self.ruu_count > 0:
+            entry = self.ruu[self.ruu_head]
+            if entry is None or not entry.completed:
+                break
+            self.ruu[self.ruu_head] = None
+            self.ruu_head = (self.ruu_head + 1) % self.config.ruu_size
+            self.ruu_count -= 1
+            committed += 1
+            if not entry.squashed:
+                self.stats.instructions += 1
+                self.stats.retired_by_class[entry.opclass] += 1
+            for reg in entry.dest_regs:
+                if self.create_vector.get(reg) is entry:
+                    del self.create_vector[reg]
+            if entry.is_halt:
+                self.halt_committed = True
+
+    def _ruu_writeback(self):
+        while self.event_queue and self.event_queue[0][0] <= self.cycle:
+            _, _, entry = self.event_queue.pop(0)
+            entry.completed = True
+            for dependent in entry.output_deps:
+                dependent.pending_inputs -= 1
+
+    def _ruu_issue(self):
+        issued = 0
+        index = self.ruu_head
+        # Walk the whole window oldest-first, exactly like ruu_issue walks
+        # the ready queue; the in-order-issue configuration stops the scan at
+        # the first entry that cannot issue yet.
+        for _ in range(self.ruu_count):
+            entry = self.ruu[index]
+            index = (index + 1) % self.config.ruu_size
+            if entry is None:
+                continue
+            if entry.issued:
+                continue
+            if entry.pending_inputs > 0 or entry.dispatched_cycle >= self.cycle:
+                break  # in-order issue: younger entries must wait
+            entry.issued = True
+            latency = entry.exec_latency
+            if entry.mem_addresses:
+                for address in entry.mem_addresses:
+                    latency += self.memory.data_delay(address, is_write=entry.mem_is_write)
+            insort(self.event_queue, (self.cycle + max(1, latency), entry.seq, entry))
+            issued += 1
+            if issued >= self.config.issue_width:
+                break
+
+    def _squash_ifq(self):
+        self.stats.squashed += len(self.ifq)
+        self.ifq = []
+        self.pending_fetch = None
+        self.icache_busy = 0
+
+    def _ruu_dispatch(self):
+        dispatched = 0
+        while (
+            dispatched < self.config.decode_width
+            and self.ifq
+            and self.ruu_count < self.config.ruu_size
+            and not self.halt_committed
+        ):
+            pc, word = self.ifq.pop(0)
+            instr = decode(word)  # the fixed simulator decodes at dispatch
+            result = execute(instr, self.state, self.memory, address=pc)
+
+            exec_latency = 1
+            if isinstance(instr, Multiply):
+                exec_latency = multiply_early_termination_cycles(self.state.regs[instr.rs])
+            if isinstance(instr, LoadStoreMultiple):
+                exec_latency = max(1, len(instr.register_list)) + 1
+            elif instr.is_memory_access():
+                # Address generation plus the separate memory pipeline stage;
+                # the cache latency itself is added at issue time.
+                exec_latency = 2
+
+            entry = _RUUEntry(
+                seq=self.seq,
+                pc=pc,
+                word=word,
+                opclass=instr.operation_class,
+                dest_regs=self._dest_regs(instr),
+                exec_latency=exec_latency,
+                mem_addresses=tuple(result.memory_reads) + tuple(result.memory_writes),
+                mem_is_write=bool(result.memory_writes),
+                is_halt=bool(result.halted),
+            )
+            entry.dispatched_cycle = self.cycle
+            self.seq += 1
+
+            # Input dependences through the creator vector.
+            for reg in self._source_regs(instr):
+                producer = self.create_vector.get(reg)
+                if producer is not None and not producer.completed:
+                    producer.output_deps.append(entry)
+                    entry.pending_inputs += 1
+            for reg in entry.dest_regs:
+                self.create_vector[reg] = entry
+
+            # Allocate in the window.
+            self.ruu[self.ruu_tail] = entry
+            self.ruu_tail = (self.ruu_tail + 1) % self.config.ruu_size
+            self.ruu_count += 1
+            dispatched += 1
+
+            if result.halted:
+                self.fetch_enabled = False
+                self._squash_ifq()
+            elif result.branch_taken:
+                # Static not-taken prediction: the fetch queue holds wrong-path
+                # instructions; squash and redirect.
+                if instr.is_branch():
+                    self.predictor.record(pc, True)
+                self._squash_ifq()
+                self.fetch_pc = result.next_pc
+                # Redirect bubbles: the front end restarts two cycles later
+                # (fetch and decode of the wrong path are lost).
+                self.fetch_stall = 2
+                break
+            elif instr.is_branch():
+                self.predictor.record(pc, False)
+
+    def _ruu_fetch(self):
+        if not self.fetch_enabled:
+            return
+        if self.fetch_stall > 0:
+            self.fetch_stall -= 1
+            return
+        if self.icache_busy > 0:
+            self.icache_busy -= 1
+            if self.icache_busy > 0:
+                return
+        if self.pending_fetch is not None:
+            if len(self.ifq) < self.config.ifq_size:
+                self.ifq.append(self.pending_fetch)
+                self.pending_fetch = None
+            return
+        if len(self.ifq) >= self.config.ifq_size:
+            return
+        pc = self.fetch_pc
+        word = self.memory.read_word(pc)
+        latency = self.memory.instruction_delay(pc)
+        self.fetch_pc = (pc + 4) & 0xFFFFFFFF
+        if latency <= 1:
+            self.ifq.append((pc, word))
+        else:
+            self.icache_busy = latency - 1
+            self.pending_fetch = (pc, word)
+
+    # -- main loop -----------------------------------------------------------
+    def step(self):
+        self._ruu_commit()
+        self._ruu_writeback()
+        self._ruu_issue()
+        self._ruu_dispatch()
+        self._ruu_fetch()
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    def machine_empty(self):
+        return self.ruu_count == 0 and not self.ifq and self.pending_fetch is None
+
+    def run(self, max_cycles=None):
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        start = time.perf_counter()
+        while self.cycle < limit:
+            if self.halt_committed and self.machine_empty():
+                self.stats.finished = True
+                self.stats.finish_reason = "halt"
+                break
+            self.step()
+        else:
+            self.stats.finish_reason = "max_cycles"
+        self.stats.wall_time_seconds += time.perf_counter() - start
+        return self.stats
+
+    # -- reporting -----------------------------------------------------------
+    def register(self, index):
+        return self.state.regs[index]
+
+    def cache_statistics(self):
+        return self.memory.statistics()

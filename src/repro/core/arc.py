@@ -1,0 +1,54 @@
+"""Arcs: directed connections between places and transitions.
+
+Arcs carry a priority ("each output arc of a place has a priority that shows
+the order at which the corresponding transitions can consume the tokens",
+paper Section 3) and declare which kind of token they move.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class TokenKind(Enum):
+    INSTRUCTION = "instruction"
+    RESERVATION = "reservation"
+
+
+class InputArc:
+    """An arc from a place to a transition (tokens are consumed)."""
+
+    __slots__ = ("place", "kind", "priority", "count")
+
+    def __init__(self, place, kind=TokenKind.INSTRUCTION, priority=0, count=1):
+        if count < 1:
+            raise ValueError("arc weight must be at least 1")
+        self.place = place
+        self.kind = TokenKind(kind)
+        self.priority = priority
+        self.count = count
+
+    def __repr__(self):
+        return "<InputArc %s -%s/%d->" % (self.place.name, self.kind.value, self.priority)
+
+
+class OutputArc:
+    """An arc from a transition to a place (tokens are produced).
+
+    ``place`` may be ``None`` for generator transitions whose instruction
+    token is routed to the entry place of the sub-net matching the token's
+    operation class (decided at run time).
+    """
+
+    __slots__ = ("place", "kind", "count")
+
+    def __init__(self, place=None, kind=TokenKind.INSTRUCTION, count=1):
+        if count < 1:
+            raise ValueError("arc weight must be at least 1")
+        self.place = place
+        self.kind = TokenKind(kind)
+        self.count = count
+
+    def __repr__(self):
+        target = self.place.name if self.place is not None else "<routed>"
+        return "<OutputArc -%s-> %s>" % (self.kind.value, target)

@@ -1,0 +1,318 @@
+"""The RCPN cycle-accurate simulation engine.
+
+This is the paper's Section 4 engine: per-(place, type) transition lists are
+precomputed, places are evaluated in reverse topological order of the
+instruction flow, and only feedback places pay for two-list (master/slave)
+storage.  The engine options expose those optimisations individually so the
+ablation benchmarks can measure their effect.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.exceptions import SimulationError
+from repro.core.scheduler import StaticSchedule
+from repro.core.statistics import SimulationStatistics
+from repro.core.token import ReservationToken
+
+
+@dataclass
+class EngineOptions:
+    """Knobs of the simulation engine.
+
+    ``use_sorted_transitions`` and ``two_list_everywhere`` switch the two
+    paper optimisations off/on (Section 4); ``collect_utilization`` samples
+    per-stage occupancy each cycle (costs time, off by default);
+    ``stall_limit`` aborts runs in which nothing fires for that many
+    consecutive cycles (a modeling bug, reported as a deadlock).
+    """
+
+    max_cycles: int = 10_000_000
+    use_sorted_transitions: bool = True
+    two_list_everywhere: bool = False
+    collect_utilization: bool = False
+    stall_limit: int = 100_000
+
+
+class EngineContext:
+    """The object guards and actions receive as ``ctx``.
+
+    It exposes the simulation cycle, the model's non-pipeline units, and the
+    engine services a transition may need: emitting new instruction tokens
+    (micro-operations), flushing stages on a misprediction, and requesting
+    the end of simulation.
+    """
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.net = engine.net
+        self.units = engine.net.units
+
+    @property
+    def cycle(self):
+        return self._engine.cycle
+
+    @property
+    def stats(self):
+        return self._engine.stats
+
+    def unit(self, name):
+        return self.net.unit(name)
+
+    def emit(self, token, place=None):
+        """Send a newly created instruction token into the pipeline.
+
+        Without ``place`` the token is routed to the entry place of the
+        sub-net handling its operation class (the paper's "any sub-net can
+        generate an instruction token and send it to its corresponding
+        sub-net").
+        """
+        self._engine.queue_emission(token, place)
+
+    def flush_place(self, place):
+        """Remove every token from ``place``, releasing their reservations."""
+        return self._engine.flush_place(place)
+
+    def flush_stage(self, stage):
+        """Flush every place assigned to ``stage`` (wrong-path squash)."""
+        return self._engine.flush_stage(stage)
+
+    def stop(self, reason="halt"):
+        """Request the end of simulation once the pipeline drains."""
+        self._engine.request_halt(reason)
+
+
+class SimulationEngine:
+    """Cycle-accurate simulator executing one RCPN model."""
+
+    def __init__(self, net, options=None):
+        net.validate()
+        self.net = net
+        self.options = options or EngineOptions()
+        self.schedule = StaticSchedule(
+            net,
+            use_sorted_transitions=self.options.use_sorted_transitions,
+            two_list_everywhere=self.options.two_list_everywhere,
+        )
+        self.stats = SimulationStatistics()
+        self.ctx = EngineContext(self)
+        self.cycle = 0
+        self.halt_requested = False
+        self.halt_reason = ""
+        self._emission_queue = []
+        self._fired_this_cycle = 0
+        self._idle_cycles = 0
+
+    # -- services used by EngineContext -------------------------------------
+    def queue_emission(self, token, place=None):
+        self._emission_queue.append((token, place))
+
+    def flush_place(self, place):
+        place = self.net._resolve_place(place)
+        removed = place.clear()
+        squashed = 0
+        for token in removed:
+            if token.is_instruction:
+                token.squashed = True
+                token.release_reservations()
+                squashed += 1
+        self.stats.squashed += squashed
+        return squashed
+
+    def flush_stage(self, stage):
+        stage = stage if hasattr(stage, "places") else self.net.stage(stage)
+        squashed = 0
+        for place in stage.places:
+            squashed += self.flush_place(place)
+        return squashed
+
+    def request_halt(self, reason="halt"):
+        self.halt_requested = True
+        self.halt_reason = reason
+
+    # -- enable / fire rules ---------------------------------------------------
+    def _output_capacity_available(self, transition, token):
+        """Check the 'output stages have enough capacity' part of the enable rule."""
+        source_stage = transition.source.stage if transition.source is not None else None
+        target = transition.target
+        # Fast path: the common case of a plain instruction move with no
+        # reservation outputs and no extra capacity requirements.
+        if not transition.reservation_outputs and not transition.capacity_stages:
+            if target is None or target.is_end:
+                return True
+            stage = target.stage
+            if stage.capacity is None or (token is not None and stage is source_stage):
+                return True
+            return stage.occupancy < stage.capacity
+
+        needed = {}
+        if target is not None and not target.is_end:
+            needed[target.stage] = needed.get(target.stage, 0) + 1
+        for arc in transition.reservation_outputs:
+            place = arc.place
+            if place is not None and not place.is_end:
+                needed[place.stage] = needed.get(place.stage, 0) + arc.count
+        for stage, count in needed.items():
+            # The instruction token leaving its current stage frees one slot
+            # if it stays within the same stage.
+            departing = 1 if (token is not None and stage is source_stage) else 0
+            if not stage.has_room(count - departing):
+                return False
+        for stage in transition.capacity_stages:
+            if not stage.has_room():
+                return False
+        return True
+
+    def _reservations_available(self, transition):
+        for arc in transition.reservation_inputs:
+            if not arc.place.has_reservation():
+                return False
+        return True
+
+    def is_enabled(self, transition, token):
+        """The paper's enable rule: tokens present, output capacity, guard true."""
+        if not self._reservations_available(transition):
+            return False
+        if not self._output_capacity_available(transition, token):
+            return False
+        return transition.evaluate_guard(token, self.ctx)
+
+    def fire(self, transition, token=None):
+        """Fire an enabled transition, moving/creating tokens."""
+        self.stats.transition_firings[transition.name] += 1
+        self._fired_this_cycle += 1
+
+        if token is not None and transition.source is not None:
+            transition.source.remove(token)
+        for arc in transition.reservation_inputs:
+            arc.place.take_reservation()
+
+        transition.run_action(token, self.ctx)
+
+        if token is not None and not transition.consumes_token:
+            if transition.target is not None:
+                self._deposit(token, transition.target, transition.delay)
+        for arc in transition.reservation_outputs:
+            self._deposit(ReservationToken(tag=transition.name), arc.place, transition.delay)
+
+        if self._emission_queue:
+            emissions, self._emission_queue = self._emission_queue, []
+            for new_token, place in emissions:
+                destination = place if place is not None else self.net.entry_place_for(new_token.opclass)
+                self.stats.generated_tokens += 1
+                self._deposit(new_token, destination, transition.delay)
+
+    def _deposit(self, token, place, transition_delay):
+        if place.is_end:
+            self._retire(token)
+            return
+        residence_delay = token.delay_override if token.delay_override is not None else place.delay
+        token.delay_override = None
+        place.deposit(token, self.cycle + transition_delay + residence_delay)
+
+    def _retire(self, token):
+        if token.is_instruction:
+            self.stats.instructions += 1
+            self.stats.retired_by_class[token.opclass] += 1
+            token.place = None
+
+    # -- main loop ----------------------------------------------------------------
+    def _process_place(self, place):
+        stored = place.tokens
+        if not stored:
+            return
+        cycle = self.cycle
+        tokens = [t for t in stored if t.is_instruction and t.ready_cycle <= cycle]
+        if not tokens:
+            return
+        transitions_for = self.schedule.transitions_for
+        for token in tokens:
+            if token.place is not place:
+                continue  # moved by an earlier firing in this cycle
+            moved = False
+            for transition in transitions_for(place, token.opclass):
+                if self.is_enabled(transition, token):
+                    self.fire(transition, token)
+                    moved = True
+                    break
+            if not moved:
+                self.stats.stalls += 1
+
+    def _run_generators(self):
+        for transition in self.schedule.generator_transitions:
+            firings = 0
+            while firings < transition.max_firings_per_cycle and self.is_enabled(transition, None):
+                self.fire(transition, None)
+                firings += 1
+
+    def step(self):
+        """Simulate one clock cycle (the body of the paper's Figure 8 loop)."""
+        self._fired_this_cycle = 0
+        for place in self.schedule.two_list_places:
+            if place.pending:
+                place.commit_pending()
+        process_place = self._process_place
+        for place in self.schedule.order:
+            process_place(place)
+        self._run_generators()
+        if self.options.collect_utilization:
+            for stage in self.net.stages.values():
+                stage.occupancy_accumulator += stage.occupancy
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+        if self._fired_this_cycle == 0:
+            self._idle_cycles += 1
+        else:
+            self._idle_cycles = 0
+
+    def pipeline_empty(self):
+        """True when no token resides in any non-end place."""
+        return all(place.occupancy() == 0 for place in self.net.places.values())
+
+    def finished(self):
+        if self.halt_requested and self.pipeline_empty():
+            return True
+        return False
+
+    def run(self, max_cycles=None, max_instructions=None):
+        """Run until the model requests a halt and drains, or a limit is hit."""
+        limit = max_cycles if max_cycles is not None else self.options.max_cycles
+        start = time.perf_counter()
+        while True:
+            if self.finished():
+                self.stats.finished = True
+                self.stats.finish_reason = self.halt_reason or "halt"
+                break
+            if self.cycle >= limit:
+                self.stats.finish_reason = "max_cycles"
+                break
+            if max_instructions is not None and self.stats.instructions >= max_instructions:
+                self.stats.finish_reason = "max_instructions"
+                break
+            if self._idle_cycles >= self.options.stall_limit:
+                raise SimulationError(
+                    "no transition fired for %d consecutive cycles at cycle %d; "
+                    "the model is deadlocked" % (self._idle_cycles, self.cycle)
+                )
+            self.step()
+        self.stats.wall_time_seconds += time.perf_counter() - start
+        if self.options.collect_utilization:
+            self.stats.stage_occupancy = {
+                name: (stage.occupancy_accumulator / self.cycle if self.cycle else 0.0)
+                for name, stage in self.net.stages.items()
+            }
+        return self.stats
+
+    def reset(self):
+        """Reset dynamic simulation state, keeping the static schedule."""
+        self.net.reset()
+        self.stats = SimulationStatistics()
+        self.cycle = 0
+        self.halt_requested = False
+        self.halt_reason = ""
+        self._emission_queue = []
+        self._fired_this_cycle = 0
+        self._idle_cycles = 0

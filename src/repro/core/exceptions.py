@@ -1,0 +1,27 @@
+"""Exception hierarchy of the RCPN core."""
+
+
+class RCPNError(Exception):
+    """Base class for all errors raised by the RCPN core."""
+
+
+class ModelError(RCPNError):
+    """The RCPN model is structurally invalid (bad stage, place, arc ...)."""
+
+
+class CapacityError(RCPNError):
+    """A token was forced into a pipeline stage that has no free capacity."""
+
+
+class SimulationError(RCPNError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class HazardProtocolError(RCPNError):
+    """A register-access interface was used without its guard counterpart.
+
+    The paper requires that ``read``/``reserve_write``/``read(s)`` in a
+    transition are paired with ``can_read``/``can_write``/``can_read(s)`` in
+    the guard of its input arc; this error reports violations detected at
+    run time (e.g. reading a register that still has a pending writer).
+    """

@@ -1,0 +1,58 @@
+"""Cycle-accurate simulator generation from an RCPN model.
+
+"Generation" in the paper means deriving, before simulation starts, all the
+structures that make the simulation loop fast: the per-(place, operation
+class) sorted transition lists, the reverse-topological place evaluation
+order and the set of feedback places that need two-list storage
+(Section 4).  :func:`generate_simulator` performs exactly that derivation
+and returns a ready-to-run engine; :class:`GenerationReport` exposes the
+derived structures so tests and benchmarks can inspect them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import EngineOptions, SimulationEngine
+
+
+@dataclass
+class GenerationReport:
+    """What the generator derived from the model (for inspection/reporting)."""
+
+    model_name: str
+    place_order: list = field(default_factory=list)
+    two_list_places: list = field(default_factory=list)
+    dispatch_entries: int = 0
+    nonempty_dispatch_entries: int = 0
+    generator_transitions: list = field(default_factory=list)
+
+    def summary(self):
+        return {
+            "model": self.model_name,
+            "places_in_order": len(self.place_order),
+            "two_list_places": len(self.two_list_places),
+            "dispatch_entries": self.dispatch_entries,
+            "nonempty_dispatch_entries": self.nonempty_dispatch_entries,
+            "generator_transitions": len(self.generator_transitions),
+        }
+
+
+def generate_simulator(net, options=None):
+    """Generate a cycle-accurate simulator for ``net``.
+
+    Returns ``(engine, report)``: the engine is ready to run, the report
+    describes the statically derived structures.
+    """
+    engine = SimulationEngine(net, options=options or EngineOptions())
+    schedule = engine.schedule
+    dispatch = schedule.sorted_transitions or {}
+    report = GenerationReport(
+        model_name=net.name,
+        place_order=[place.name for place in schedule.order],
+        two_list_places=[place.name for place in schedule.two_list_places],
+        dispatch_entries=len(dispatch),
+        nonempty_dispatch_entries=sum(1 for value in dispatch.values() if value),
+        generator_transitions=[t.name for t in schedule.generator_transitions],
+    )
+    return engine, report

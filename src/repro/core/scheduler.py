@@ -1,0 +1,168 @@
+"""Static pre-simulation analysis of an RCPN model.
+
+This module implements the two engine optimisations the paper derives from
+RCPN structure (Section 4):
+
+1. :func:`calculate_sorted_transitions` — the ``CalculateSortedTransitions``
+   pseudo-code of Figure 6: for every (place, operation class) pair the list
+   of candidate output transitions, sorted by arc priority, is extracted
+   once before simulation starts.
+2. :func:`place_evaluation_order` / :func:`mark_feedback_places` — places are
+   ordered in reverse topological order of the instruction flow so tokens of
+   the previous cycle are read before being overwritten; only places on
+   feedback edges need the two-list (master/slave) storage scheme.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def calculate_sorted_transitions(net):
+    """Build the ``sorted_transitions[place, opclass]`` dispatch table.
+
+    Only transitions belonging to the sub-net that handles the operation
+    class are candidates, mirroring the paper's observation that "an
+    instruction token only goes through transitions of the sub-net
+    corresponding to its type".
+    """
+    table = {}
+    transitions_by_source = defaultdict(list)
+    for transition in net.transitions:
+        if transition.source is not None:
+            transitions_by_source[transition.source.name].append(transition)
+
+    for place in net.places.values():
+        candidates = transitions_by_source.get(place.name, [])
+        for opclass in net.operation_classes:
+            subnet = net.subnet_for(opclass)
+            selected = [t for t in candidates if t.subnet is subnet]
+            selected.sort(key=lambda t: t.priority)
+            table[(place.name, opclass)] = tuple(selected)
+    return table
+
+
+def place_flow_graph(net):
+    """Directed graph over places induced by instruction-token movement.
+
+    There is an edge ``p -> q`` when some transition consumes its instruction
+    token from ``p`` and deposits it into ``q``.  Reservation-token arcs are
+    ignored: reservation tokens cannot enable a transition by themselves
+    (paper Section 4) and therefore do not constrain the evaluation order.
+    """
+    edges = defaultdict(set)
+    for place in net.places.values():
+        edges[place.name]  # ensure every place appears as a node
+    for transition in net.transitions:
+        if transition.source is not None and transition.target is not None:
+            edges[transition.source.name].add(transition.target.name)
+    return dict(edges)
+
+
+def place_evaluation_order(net):
+    """Places in reverse topological order of the instruction flow.
+
+    Downstream places come first so that, within one cycle, a stage drains
+    before the upstream stage refills it — the same-cycle ripple advance of a
+    real pipeline.  Cycles in the flow graph (feedback paths) are broken
+    arbitrarily; the places targeted by the broken edges are the ones
+    :func:`mark_feedback_places` flags for two-list storage.
+    """
+    graph = place_flow_graph(net)
+    visited = {}
+    order = []
+
+    def visit(node):
+        state = visited.get(node)
+        if state == "done":
+            return
+        if state == "active":
+            return  # feedback edge; ignore for ordering purposes
+        visited[node] = "active"
+        for successor in sorted(graph.get(node, ())):
+            visit(successor)
+        visited[node] = "done"
+        order.append(node)
+
+    for node in sorted(graph):
+        visit(node)
+
+    # ``order`` is post-order: successors (downstream places) appear before
+    # their predecessors, which is exactly the reverse-topological evaluation
+    # order the engine needs.
+    return [net.places[name] for name in order]
+
+
+def mark_feedback_places(net, order=None):
+    """Identify places that need two-list (master/slave) storage.
+
+    A place needs it when some transition deposits tokens into it although
+    it has already been evaluated earlier in the same cycle — i.e. the edge
+    goes against the evaluation order (a feedback edge or a self loop).
+    Model authors may additionally mark places explicitly via
+    ``two_list=True``.
+    """
+    if order is None:
+        order = place_evaluation_order(net)
+    position = {place.name: index for index, place in enumerate(order)}
+    feedback = set()
+    for transition in net.transitions:
+        source, target = transition.source, transition.target
+        if source is None or target is None:
+            continue
+        # The engine evaluates places in ``order``; an edge whose target is
+        # evaluated before (or at the same position as) its source would let
+        # a token be seen again in the cycle it was written.
+        if position[target.name] >= position[source.name]:
+            feedback.add(target.name)
+        # Reservation-token outputs into already-evaluated places also need
+        # buffering so the producing cycle cannot consume them immediately.
+    for transition in net.transitions:
+        for arc in transition.reservation_outputs:
+            if arc.place is not None and transition.source is not None:
+                if position[arc.place.name] >= position[transition.source.name]:
+                    feedback.add(arc.place.name)
+    return [net.places[name] for name in sorted(feedback)]
+
+
+class StaticSchedule:
+    """The result of the pre-simulation analysis, consumed by the engine."""
+
+    def __init__(self, net, use_sorted_transitions=True, two_list_everywhere=False):
+        self.net = net
+        self.use_sorted_transitions = use_sorted_transitions
+        self.order = place_evaluation_order(net)
+        feedback_places = mark_feedback_places(net, self.order)
+        self.feedback_place_names = {p.name for p in feedback_places}
+        for place in net.places.values():
+            if two_list_everywhere:
+                place.two_list = True
+            elif place.name in self.feedback_place_names:
+                place.two_list = True
+        self.two_list_places = [p for p in net.places.values() if p.two_list]
+        self.sorted_transitions = (
+            calculate_sorted_transitions(net) if use_sorted_transitions else None
+        )
+        for place in net.places.values():
+            if self.sorted_transitions is None:
+                place.dispatch = None
+            else:
+                place.dispatch = {
+                    opclass: self.sorted_transitions[(place.name, opclass)]
+                    for opclass in net.operation_classes
+                }
+        self.generator_transitions = net.generator_transitions()
+
+    def transitions_for(self, place, opclass):
+        """Candidate transitions for an instruction token, in priority order."""
+        if place.dispatch is not None:
+            return place.dispatch.get(opclass, ())
+        # Unoptimised path (ablation): search and sort at every call.
+        subnet = self.net.subnet_for(opclass)
+        candidates = [
+            t
+            for t in self.net.transitions
+            if t.source is place and t.subnet is subnet
+        ]
+        candidates.sort(key=lambda t: t.priority)
+        return candidates

@@ -1,0 +1,48 @@
+"""Sub-nets: one per operation class plus the instruction-independent net.
+
+"In any RCPN, there is one instruction independent sub-net that generates
+the instruction tokens, and for each instruction type, there is a
+corresponding sub-net that distinctively describes the behavior of
+instruction tokens of that type." (paper Section 3)
+"""
+
+from __future__ import annotations
+
+
+class SubNet:
+    """A named group of places and transitions.
+
+    ``opclasses`` lists the operation-class names whose tokens flow through
+    this sub-net; the instruction-independent sub-net has an empty list.
+    ``entry_place`` is where newly generated tokens of those classes are
+    deposited.
+    """
+
+    def __init__(self, name, opclasses=(), entry_place=None):
+        self.name = name
+        self.opclasses = tuple(opclasses)
+        self.entry_place = entry_place
+        self.places = []
+        self.transitions = []
+
+    @property
+    def is_instruction_independent(self):
+        return not self.opclasses
+
+    def add_place(self, place):
+        self.places.append(place)
+
+    def add_transition(self, transition):
+        self.transitions.append(transition)
+
+    def handles(self, opclass):
+        return opclass in self.opclasses
+
+    def __repr__(self):
+        kind = "instruction-independent" if self.is_instruction_independent else ",".join(self.opclasses)
+        return "<SubNet %s (%s) places=%d transitions=%d>" % (
+            self.name,
+            kind,
+            len(self.places),
+            len(self.transitions),
+        )

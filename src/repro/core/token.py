@@ -1,0 +1,132 @@
+"""Tokens of the RCPN model.
+
+The paper distinguishes two token groups (Section 3):
+
+* *reservation tokens* carry no data; their presence marks a pipeline stage
+  as occupied (used, e.g., to stall the fetch unit while a branch resolves);
+* *instruction tokens* carry the decoded instruction and its operands; one
+  instruction token represents one dynamic instruction flowing through the
+  pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+_sequence = itertools.count()
+
+
+class Token:
+    """Base token: a delay-carrying object residing in a place."""
+
+    __slots__ = ("ready_cycle", "delay_override", "place", "seq")
+
+    is_instruction = False
+
+    def __init__(self):
+        self.ready_cycle = 0
+        self.delay_override = None
+        self.place = None
+        self.seq = next(_sequence)
+
+    @property
+    def delay(self):
+        """Pending token-delay override (paper: 'delay of a token')."""
+        return self.delay_override
+
+    @delay.setter
+    def delay(self, value):
+        self.delay_override = value
+
+    def __repr__(self):
+        return "<%s #%d in %s>" % (
+            type(self).__name__,
+            self.seq,
+            self.place.name if self.place is not None else "limbo",
+        )
+
+
+class ReservationToken(Token):
+    """A dataless token marking its place's pipeline stage as occupied."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag=None):
+        super().__init__()
+        self.tag = tag
+
+
+class InstructionToken(Token):
+    """A decoded dynamic instruction and its bound operands.
+
+    ``operands`` maps the symbols of the instruction's operation class to
+    operand objects (:class:`~repro.core.operands.RegRef`,
+    :class:`~repro.core.operands.Const`, plain Python values).  Symbols are
+    also exposed as attributes so model code can be written exactly like the
+    paper's examples: ``t.s1.can_read()``, ``t.d.reserve_write()`` ...
+    """
+
+    __slots__ = ("instr", "opclass", "pc", "operands", "annotations", "squashed")
+
+    is_instruction = True
+
+    def __init__(self, instr, opclass, pc=0, operands=None):
+        super().__init__()
+        self.instr = instr
+        self.opclass = opclass
+        self.pc = pc
+        self.operands = dict(operands or {})
+        self.annotations = {}
+        self.squashed = False
+
+    def __getattr__(self, name):
+        # Only called when normal attribute lookup fails: resolve operation
+        # class symbols (t.s1, t.d, ...) from the operand binding.
+        try:
+            operands = object.__getattribute__(self, "operands")
+        except AttributeError:
+            raise AttributeError(name)
+        if name in operands:
+            return operands[name]
+        raise AttributeError(
+            "%r is neither a token attribute nor a symbol of operation class %r"
+            % (name, object.__getattribute__(self, "opclass"))
+        )
+
+    @property
+    def type(self):
+        """The operation class name (paper notation: ``t.type``)."""
+        return self.opclass
+
+    def symbol(self, name):
+        """Explicit symbol lookup (same as attribute access)."""
+        return self.operands[name]
+
+    def register_operands(self):
+        """All operands that participate in the register-hazard protocol.
+
+        Operands bound to lists (block-transfer register lists) are
+        flattened so every RegRef is covered by squash/release handling.
+        """
+        from repro.core.operands import RegRef
+
+        found = []
+        for operand in self.operands.values():
+            if isinstance(operand, RegRef):
+                found.append(operand)
+            elif isinstance(operand, (list, tuple)):
+                found.extend(item for item in operand if isinstance(item, RegRef))
+        return found
+
+    def release_reservations(self):
+        """Drop any write reservations held by this token's operands.
+
+        Called when a token is squashed (wrong-path flush) so that younger
+        correct-path instructions are not blocked forever.
+        """
+        for operand in self.register_operands():
+            operand.release()
+
+    def __repr__(self):
+        where = self.place.name if self.place is not None else "limbo"
+        return "<InstructionToken #%d %s pc=%#x in %s>" % (self.seq, self.opclass, self.pc, where)

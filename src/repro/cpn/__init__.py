@@ -1,0 +1,35 @@
+"""Colored Petri Net substrate.
+
+RCPN is defined as a restriction/re-interpretation of Colored Petri Nets;
+the paper argues that an RCPN model "can be converted to standard CPN and
+use all the tools and algorithms that are available for CPN".  This package
+provides that substrate:
+
+* a general Colored Petri Net with multiset markings, binding enumeration
+  and the occurrence rule (:mod:`repro.cpn.net`),
+* analysis algorithms over the reachability graph: boundedness, deadlock
+  and liveness checks (:mod:`repro.cpn.analysis`),
+* the RCPN -> CPN structural conversion, which makes the capacity
+  constraints explicit as complement places and thereby reproduces the
+  circular loops of the paper's Figure 2(b) (:mod:`repro.cpn.convert`).
+"""
+
+from repro.cpn.multiset import Multiset
+from repro.cpn.net import CPN, CPNPlace, CPNTransition, InputPattern, OutputProduction
+from repro.cpn.simulator import CPNSimulator
+from repro.cpn.analysis import ReachabilityGraph, analyze_boundedness, find_deadlocks
+from repro.cpn.convert import rcpn_to_cpn
+
+__all__ = [
+    "Multiset",
+    "CPN",
+    "CPNPlace",
+    "CPNTransition",
+    "InputPattern",
+    "OutputProduction",
+    "CPNSimulator",
+    "ReachabilityGraph",
+    "analyze_boundedness",
+    "find_deadlocks",
+    "rcpn_to_cpn",
+]

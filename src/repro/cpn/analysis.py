@@ -1,0 +1,94 @@
+"""Analysis algorithms over Colored Petri Nets.
+
+Building the reachability graph lets the standard CPN questions be answered
+for the (small) converted processor models: boundedness of every place,
+presence of deadlock markings, and which transitions are live.  This is the
+"reuse the rich varieties of analysis techniques proposed for CPN" part of
+the paper's argument.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class ReachabilityGraph:
+    """The reachability (occurrence) graph of a CPN from its initial marking."""
+
+    def __init__(self, net, max_markings=10_000):
+        self.net = net
+        self.max_markings = max_markings
+        self.markings = []
+        self.edges = []
+        self.truncated = False
+        self._index = {}
+        self._build()
+
+    def _build(self):
+        net = self.net
+        initial = net.marking()
+        self._index[initial] = 0
+        self.markings.append(initial)
+        frontier = deque([initial])
+        while frontier:
+            marking = frontier.popleft()
+            source = self._index[marking]
+            for transition in net.transitions:
+                net.set_marking(marking)
+                for binding in net.bindings(transition):
+                    net.set_marking(marking)
+                    net.fire(transition, binding)
+                    successor = net.marking()
+                    if successor not in self._index:
+                        if len(self.markings) >= self.max_markings:
+                            self.truncated = True
+                            continue
+                        self._index[successor] = len(self.markings)
+                        self.markings.append(successor)
+                        frontier.append(successor)
+                    self.edges.append((source, transition.name, self._index.get(successor)))
+            net.set_marking(marking)
+        net.set_marking(initial)
+
+    # -- queries ------------------------------------------------------------
+    def marking_count(self):
+        return len(self.markings)
+
+    def place_bounds(self):
+        """Maximum number of tokens observed in each place."""
+        bounds = {name: 0 for name in self.net.places}
+        for marking in self.markings:
+            for name, frozen in marking:
+                total = sum(count for _, count in frozen)
+                bounds[name] = max(bounds[name], total)
+        return bounds
+
+    def deadlock_markings(self):
+        """Markings with no enabled transition."""
+        dead = []
+        for marking in self.markings:
+            self.net.set_marking(marking)
+            if not self.net.enabled_transitions():
+                dead.append(marking)
+        self.net.set_marking(self.markings[0])
+        return dead
+
+    def fired_transitions(self):
+        return {name for _, name, _ in self.edges}
+
+    def dead_transitions(self):
+        """Transitions that never fire anywhere in the reachability graph."""
+        fired = self.fired_transitions()
+        return [t.name for t in self.net.transitions if t.name not in fired]
+
+
+def analyze_boundedness(net, max_markings=10_000):
+    """Return ``(is_bounded_within_limit, place_bounds)`` for ``net``."""
+    graph = ReachabilityGraph(net, max_markings=max_markings)
+    return (not graph.truncated), graph.place_bounds()
+
+
+def find_deadlocks(net, max_markings=10_000):
+    """Return the deadlock markings reachable from the initial marking."""
+    graph = ReachabilityGraph(net, max_markings=max_markings)
+    return graph.deadlock_markings()

@@ -1,0 +1,66 @@
+"""Multisets of colored tokens (the markings of CPN places)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class Multiset:
+    """A multiset over hashable token colors."""
+
+    def __init__(self, items=()):
+        self._counts = Counter(items)
+
+    def add(self, color, count=1):
+        if count < 0:
+            raise ValueError("cannot add a negative number of tokens")
+        self._counts[color] += count
+
+    def remove(self, color, count=1):
+        have = self._counts.get(color, 0)
+        if have < count:
+            raise KeyError("multiset holds %d of %r, cannot remove %d" % (have, color, count))
+        if have == count:
+            del self._counts[color]
+        else:
+            self._counts[color] = have - count
+
+    def count(self, color):
+        return self._counts.get(color, 0)
+
+    def contains(self, color, count=1):
+        return self.count(color) >= count
+
+    def colors(self):
+        return list(self._counts)
+
+    def items(self):
+        return self._counts.items()
+
+    def __len__(self):
+        return sum(self._counts.values())
+
+    def __iter__(self):
+        for color, count in self._counts.items():
+            for _ in range(count):
+                yield color
+
+    def __contains__(self, color):
+        return self.count(color) > 0
+
+    def __eq__(self, other):
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def copy(self):
+        clone = Multiset()
+        clone._counts = Counter(self._counts)
+        return clone
+
+    def frozen(self):
+        """Hashable snapshot used as part of a marking key."""
+        return tuple(sorted(self._counts.items(), key=repr))
+
+    def __repr__(self):
+        return "Multiset(%r)" % (dict(self._counts),)

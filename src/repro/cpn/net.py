@@ -1,0 +1,203 @@
+"""A general Colored Petri Net with binding enumeration.
+
+This is a deliberately small but genuine CPN implementation: places hold
+multisets of colored tokens, input arcs bind variables to token colors,
+transition guards constrain bindings, and output arcs produce colors
+computed from the binding (Jensen's occurrence rule).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.cpn.multiset import Multiset
+
+
+class CPNPlace:
+    """A place holding a multiset of colored tokens."""
+
+    def __init__(self, name, initial=()):
+        self.name = name
+        self.initial = Multiset(initial)
+        self.marking = self.initial.copy()
+
+    def reset(self):
+        self.marking = self.initial.copy()
+
+    def __repr__(self):
+        return "<CPNPlace %s %r>" % (self.name, dict(self.marking.items()))
+
+
+class InputPattern:
+    """An input arc: consumes one token from ``place`` bound to ``variable``.
+
+    ``variable`` of ``None`` matches (and consumes) the anonymous black
+    token ``"•"`` used by place/transition nets.
+    """
+
+    BLACK = "•"
+
+    def __init__(self, place, variable=None, count=1):
+        self.place = place
+        self.variable = variable
+        self.count = count
+
+
+class OutputProduction:
+    """An output arc: produces tokens for ``place``.
+
+    ``expression(binding)`` computes the produced color; ``None`` produces
+    the anonymous black token.
+    """
+
+    def __init__(self, place, expression=None, count=1):
+        self.place = place
+        self.expression = expression
+        self.count = count
+
+
+class CPNTransition:
+    """A transition with input patterns, a guard and output productions."""
+
+    def __init__(self, name, inputs=(), outputs=(), guard=None):
+        self.name = name
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.guard = guard
+
+    def __repr__(self):
+        return "<CPNTransition %s>" % self.name
+
+
+class CPN:
+    """A Colored Petri Net: places, transitions and the occurrence rule."""
+
+    def __init__(self, name):
+        self.name = name
+        self.places = {}
+        self.transitions = []
+
+    # -- construction -----------------------------------------------------
+    def add_place(self, name, initial=()):
+        if name in self.places:
+            raise ValueError("duplicate place %r" % name)
+        place = CPNPlace(name, initial)
+        self.places[name] = place
+        return place
+
+    def place(self, name):
+        return self.places[name]
+
+    def add_transition(self, name, inputs=(), outputs=(), guard=None):
+        resolved_inputs = [
+            InputPattern(self._resolve(arc.place), arc.variable, arc.count) for arc in inputs
+        ]
+        resolved_outputs = [
+            OutputProduction(self._resolve(arc.place), arc.expression, arc.count) for arc in outputs
+        ]
+        transition = CPNTransition(name, resolved_inputs, resolved_outputs, guard)
+        self.transitions.append(transition)
+        return transition
+
+    def _resolve(self, place):
+        if isinstance(place, CPNPlace):
+            return place
+        return self.places[place]
+
+    # -- occurrence rule ------------------------------------------------------
+    def bindings(self, transition):
+        """Enumerate the enabled bindings of ``transition`` in the current marking."""
+        choice_lists = []
+        for arc in transition.inputs:
+            marking = arc.place.marking
+            if arc.variable is None:
+                if marking.count(InputPattern.BLACK) >= arc.count:
+                    choice_lists.append([(arc, InputPattern.BLACK)])
+                else:
+                    return []
+            else:
+                colors = [c for c in marking.colors()]
+                if not colors:
+                    return []
+                choice_lists.append([(arc, color) for color in colors])
+
+        enabled = []
+        for combination in product(*choice_lists):
+            binding = {}
+            consumption = {}
+            consistent = True
+            for arc, color in combination:
+                if arc.variable is not None:
+                    if arc.variable in binding and binding[arc.variable] != color:
+                        consistent = False
+                        break
+                    binding[arc.variable] = color
+                key = (arc.place.name, color)
+                consumption[key] = consumption.get(key, 0) + arc.count
+            if not consistent:
+                continue
+            # Enough tokens of each chosen color must be present.
+            if any(
+                self.places[place].marking.count(color) < needed
+                for (place, color), needed in consumption.items()
+            ):
+                continue
+            if transition.guard is not None and not transition.guard(binding):
+                continue
+            enabled.append(binding)
+        return enabled
+
+    def is_enabled(self, transition):
+        return bool(self.bindings(transition))
+
+    def enabled_transitions(self):
+        return [t for t in self.transitions if self.is_enabled(t)]
+
+    def fire(self, transition, binding=None):
+        """Fire ``transition`` under ``binding`` (the first enabled one by default)."""
+        if binding is None:
+            candidates = self.bindings(transition)
+            if not candidates:
+                raise ValueError("transition %r is not enabled" % transition.name)
+            binding = candidates[0]
+        for arc in transition.inputs:
+            color = InputPattern.BLACK if arc.variable is None else binding[arc.variable]
+            arc.place.marking.remove(color, arc.count)
+        for arc in transition.outputs:
+            if arc.expression is None:
+                color = InputPattern.BLACK
+            else:
+                color = arc.expression(binding)
+            arc.place.marking.add(color, arc.count)
+        return binding
+
+    # -- marking bookkeeping --------------------------------------------------
+    def marking(self):
+        """A hashable snapshot of the whole net's marking."""
+        return tuple((name, place.marking.frozen()) for name, place in sorted(self.places.items()))
+
+    def set_marking(self, marking):
+        for name, frozen in marking:
+            place = self.places[name]
+            place.marking = Multiset()
+            for color, count in frozen:
+                place.marking.add(color, count)
+
+    def reset(self):
+        for place in self.places.values():
+            place.reset()
+
+    def complexity(self):
+        """Structural size, comparable with :meth:`repro.core.RCPN.complexity`."""
+        arcs = sum(len(t.inputs) + len(t.outputs) for t in self.transitions)
+        return {
+            "places": len(self.places),
+            "transitions": len(self.transitions),
+            "arcs": arcs,
+        }
+
+    def __repr__(self):
+        size = self.complexity()
+        return "<CPN %s: %d places, %d transitions, %d arcs>" % (
+            self.name, size["places"], size["transitions"], size["arcs"],
+        )

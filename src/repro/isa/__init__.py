@@ -1,0 +1,76 @@
+"""ARM7-inspired instruction-set substrate.
+
+The paper evaluates RCPN on the ARM7 instruction set (StrongARM / XScale
+processors, binaries produced by ``arm-linux-gcc``).  This package provides a
+self-contained substitute: a 32-bit RISC instruction set whose binary
+encoding, register file, condition codes and instruction classes closely
+follow ARM7, together with a two-pass assembler, a disassembler and
+functional execution semantics.
+
+The six instruction classes (data processing, multiply, load/store,
+load/store multiple, branch, system) map one-to-one onto the six *operation
+classes* used by the paper's StrongARM and XScale models.
+"""
+
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    PC,
+    LR,
+    SP,
+    RegisterNames,
+    register_name,
+    register_number,
+)
+from repro.isa.flags import ConditionFlags
+from repro.isa.conditions import Condition, condition_passes
+from repro.isa.instructions import (
+    Instruction,
+    DataProcessing,
+    Multiply,
+    LoadStore,
+    LoadStoreMultiple,
+    Branch,
+    System,
+    DataOpcode,
+    ShiftType,
+    SystemOp,
+)
+from repro.isa.encoding import encode, decode, DecodeError
+from repro.isa.assembler import assemble, assemble_file, AssemblerError
+from repro.isa.disassembler import disassemble
+from repro.isa.program import Program
+from repro.isa.semantics import ExecutionResult, execute, CPUState
+
+__all__ = [
+    "NUM_REGISTERS",
+    "PC",
+    "LR",
+    "SP",
+    "RegisterNames",
+    "register_name",
+    "register_number",
+    "ConditionFlags",
+    "Condition",
+    "condition_passes",
+    "Instruction",
+    "DataProcessing",
+    "Multiply",
+    "LoadStore",
+    "LoadStoreMultiple",
+    "Branch",
+    "System",
+    "DataOpcode",
+    "ShiftType",
+    "SystemOp",
+    "encode",
+    "decode",
+    "DecodeError",
+    "assemble",
+    "assemble_file",
+    "AssemblerError",
+    "disassemble",
+    "Program",
+    "ExecutionResult",
+    "execute",
+    "CPUState",
+]

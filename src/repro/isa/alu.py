@@ -1,0 +1,129 @@
+"""Arithmetic/logic helpers shared by the functional simulator and the RCPN
+processor models.
+
+Keeping the datapath functions here guarantees that cycle-accurate models
+and the reference instruction-set simulator compute identical results.
+"""
+
+from __future__ import annotations
+
+from repro.isa.flags import MASK32, to_signed, to_unsigned
+from repro.isa.instructions import DataOpcode, ShiftType
+
+
+def apply_shift(value, shift_type, amount, carry_in):
+    """Apply a barrel-shifter operation.
+
+    Returns ``(result, carry_out)``.  The ARM special cases for a shift
+    amount of zero are simplified: amount 0 always passes the value through
+    with the incoming carry (the encoding used by the assembler never emits
+    the RRX special case).
+    """
+    value = to_unsigned(value)
+    amount = int(amount) & 0xFF
+    if amount == 0:
+        return value, carry_in
+    shift_type = ShiftType(shift_type)
+    if shift_type is ShiftType.LSL:
+        if amount >= 32:
+            carry = bool(value & 1) if amount == 32 else False
+            return 0, carry
+        result = (value << amount) & MASK32
+        carry = bool((value >> (32 - amount)) & 1)
+        return result, carry
+    if shift_type is ShiftType.LSR:
+        if amount >= 32:
+            carry = bool(value >> 31) if amount == 32 else False
+            return 0, carry
+        result = value >> amount
+        carry = bool((value >> (amount - 1)) & 1)
+        return result, carry
+    if shift_type is ShiftType.ASR:
+        signed = to_signed(value)
+        if amount >= 32:
+            result = to_unsigned(-1 if signed < 0 else 0)
+            return result, bool(value >> 31)
+        result = to_unsigned(signed >> amount)
+        carry = bool((value >> (amount - 1)) & 1)
+        return result, carry
+    # ROR
+    amount %= 32
+    if amount == 0:
+        return value, bool(value >> 31)
+    result = ((value >> amount) | (value << (32 - amount))) & MASK32
+    carry = bool((result >> 31) & 1)
+    return result, carry
+
+
+def alu_operate(opcode, a, b, carry_in):
+    """Execute a data-processing opcode.
+
+    Returns ``(result, n, z, c, v, writes_result)`` where the flag values are
+    what an S-suffixed instruction would write.  ``result`` is ``None`` for
+    the test/compare opcodes (they produce flags only).
+    """
+    opcode = DataOpcode(opcode)
+    a = to_unsigned(a)
+    b = to_unsigned(b)
+    carry_bit = 1 if carry_in else 0
+
+    def logical(result, carry=carry_in):
+        result &= MASK32
+        return result, bool(result >> 31), result == 0, bool(carry), None
+
+    def add(x, y, cin):
+        full = x + y + cin
+        result = full & MASK32
+        carry = full > MASK32
+        overflow = (to_signed(x) + to_signed(y) + cin) != to_signed(result)
+        return result, bool(result >> 31), result == 0, carry, overflow
+
+    if opcode is DataOpcode.AND or opcode is DataOpcode.TST:
+        result, n, z, c, v = logical(a & b)
+    elif opcode is DataOpcode.EOR or opcode is DataOpcode.TEQ:
+        result, n, z, c, v = logical(a ^ b)
+    elif opcode is DataOpcode.SUB or opcode is DataOpcode.CMP:
+        result, n, z, c, v = add(a, (~b) & MASK32, 1)
+    elif opcode is DataOpcode.RSB:
+        result, n, z, c, v = add(b, (~a) & MASK32, 1)
+    elif opcode is DataOpcode.ADD or opcode is DataOpcode.CMN:
+        result, n, z, c, v = add(a, b, 0)
+    elif opcode is DataOpcode.ADC:
+        result, n, z, c, v = add(a, b, carry_bit)
+    elif opcode is DataOpcode.SBC:
+        result, n, z, c, v = add(a, (~b) & MASK32, carry_bit)
+    elif opcode is DataOpcode.RSC:
+        result, n, z, c, v = add(b, (~a) & MASK32, carry_bit)
+    elif opcode is DataOpcode.ORR:
+        result, n, z, c, v = logical(a | b)
+    elif opcode is DataOpcode.MOV:
+        result, n, z, c, v = logical(b)
+    elif opcode is DataOpcode.BIC:
+        result, n, z, c, v = logical(a & ~b & MASK32)
+    elif opcode is DataOpcode.MVN:
+        result, n, z, c, v = logical((~b) & MASK32)
+    else:  # pragma: no cover - exhaustive over the enum
+        raise ValueError("unknown data-processing opcode: %r" % (opcode,))
+
+    writes_result = opcode.writes_rd
+    return result, n, z, c, v, writes_result
+
+
+def multiply(rm, rs, accumulator=0):
+    """32x32 -> low 32-bit multiply (optionally accumulating)."""
+    return (to_unsigned(rm) * to_unsigned(rs) + to_unsigned(accumulator)) & MASK32
+
+
+def multiply_early_termination_cycles(rs):
+    """Iterations of the ARM7 early-termination multiplier.
+
+    The StrongARM/XScale multiplier examines the multiplier operand 8 bits
+    per cycle and stops once the remaining bits are all zeros or all ones;
+    this data-dependent latency is what the RCPN token delay models.
+    """
+    value = to_unsigned(rs)
+    for cycles in range(1, 5):
+        remaining = value >> (8 * cycles)
+        if remaining == 0 or remaining == (MASK32 >> (8 * cycles)):
+            return cycles
+    return 4

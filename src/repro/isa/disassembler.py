@@ -1,0 +1,29 @@
+"""Disassembler: turn 32-bit words back into readable assembly text."""
+
+from __future__ import annotations
+
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.instructions import Branch
+
+
+def disassemble(word, address=None):
+    """Disassemble one instruction word.
+
+    When ``address`` is given, branch targets are shown as absolute
+    addresses; otherwise the raw instruction text is returned.  Words that do
+    not decode are rendered as ``.word 0x...``.
+    """
+    try:
+        instr = decode(word)
+    except DecodeError:
+        return ".word 0x%08x" % word
+    if isinstance(instr, Branch) and address is not None:
+        return "%s 0x%x" % (instr.mnemonic, instr.target(address))
+    return str(instr)
+
+
+def disassemble_program(program):
+    """Yield ``(address, word, text)`` triples for every word of a program."""
+    for index, word in enumerate(program.words):
+        address = program.origin + 4 * index
+        yield address, word, disassemble(word, address)

@@ -1,0 +1,280 @@
+"""Binary encoding and decoding of the ARM7-inspired instruction set.
+
+Every instruction is a 32-bit word:
+
+====  =======================================================================
+bits  meaning
+====  =======================================================================
+31-28 condition code
+27-25 instruction class: 000/001 data processing (register/immediate
+      operand2), 010/011 load-store (immediate/register offset), 100
+      load-store multiple, 101 branch, 110 multiply, 111 system
+24-0  class-specific fields (documented per encoder below)
+====  =======================================================================
+"""
+
+from __future__ import annotations
+
+from repro.isa.conditions import Condition
+from repro.isa.instructions import (
+    Branch,
+    DataOpcode,
+    DataProcessing,
+    LoadStore,
+    LoadStoreMultiple,
+    Multiply,
+    Operand2,
+    ShiftType,
+    System,
+    SystemOp,
+)
+
+CLASS_DP_REG = 0b000
+CLASS_DP_IMM = 0b001
+CLASS_LS_IMM = 0b010
+CLASS_LS_REG = 0b011
+CLASS_LSM = 0b100
+CLASS_BRANCH = 0b101
+CLASS_MUL = 0b110
+CLASS_SYSTEM = 0b111
+
+
+class DecodeError(ValueError):
+    """Raised when a 32-bit word is not a valid instruction."""
+
+
+class EncodeError(ValueError):
+    """Raised when an instruction cannot be represented in 32 bits."""
+
+
+def _check_register(value, what):
+    if not 0 <= value <= 15:
+        raise EncodeError("%s out of range: %r" % (what, value))
+    return value
+
+
+def _encode_shifted_register(rm, shift_type, shift_amount):
+    if not 0 <= shift_amount <= 31:
+        raise EncodeError("shift amount out of range: %r" % (shift_amount,))
+    return (
+        (shift_amount & 0x1F) << 7
+        | (int(shift_type) & 0x3) << 5
+        | _check_register(rm, "rm")
+    )
+
+
+def _encode_data_processing(instr):
+    word = (int(instr.opcode) & 0xF) << 21
+    word |= (1 << 20) if instr.set_flags else 0
+    word |= _check_register(instr.rn, "rn") << 16
+    word |= _check_register(instr.rd, "rd") << 12
+    op2 = instr.operand2
+    if op2.is_immediate:
+        if not 0 <= op2.immediate <= 0xFF:
+            raise EncodeError("immediate out of range: %r" % (op2.immediate,))
+        if not 0 <= op2.rotate <= 0xF:
+            raise EncodeError("rotate out of range: %r" % (op2.rotate,))
+        word |= (op2.rotate & 0xF) << 8 | (op2.immediate & 0xFF)
+        return CLASS_DP_IMM, word
+    word |= _encode_shifted_register(op2.rm, op2.shift_type, op2.shift_amount)
+    return CLASS_DP_REG, word
+
+
+def _encode_load_store(instr):
+    word = 0
+    word |= (1 << 24) if instr.pre_index else 0
+    word |= (1 << 23) if instr.up else 0
+    word |= (1 << 22) if instr.byte else 0
+    word |= (1 << 21) if instr.writeback else 0
+    word |= (1 << 20) if instr.load else 0
+    word |= _check_register(instr.rn, "rn") << 16
+    word |= _check_register(instr.rd, "rd") << 12
+    if instr.has_register_offset:
+        word |= _encode_shifted_register(
+            instr.offset_register, instr.shift_type, instr.shift_amount
+        )
+        return CLASS_LS_REG, word
+    offset = instr.offset_immediate or 0
+    if not 0 <= offset <= 0xFFF:
+        raise EncodeError("load/store offset out of range: %r" % (offset,))
+    word |= offset
+    return CLASS_LS_IMM, word
+
+
+def _encode_load_store_multiple(instr):
+    word = 0
+    word |= (1 << 24) if instr.before else 0
+    word |= (1 << 23) if instr.up else 0
+    word |= (1 << 21) if instr.writeback else 0
+    word |= (1 << 20) if instr.load else 0
+    word |= _check_register(instr.rn, "rn") << 16
+    if not instr.register_list:
+        raise EncodeError("load/store multiple requires a non-empty register list")
+    mask = 0
+    for reg in instr.register_list:
+        mask |= 1 << _check_register(reg, "register list entry")
+    word |= mask
+    return CLASS_LSM, word
+
+
+def _encode_branch(instr):
+    if not -(1 << 23) <= instr.offset < (1 << 23):
+        raise EncodeError("branch offset out of range: %r" % (instr.offset,))
+    word = (1 << 24) if instr.link else 0
+    word |= instr.offset & 0xFFFFFF
+    return CLASS_BRANCH, word
+
+
+def _encode_multiply(instr):
+    word = 0
+    word |= (1 << 21) if instr.accumulate else 0
+    word |= (1 << 20) if instr.set_flags else 0
+    word |= _check_register(instr.rd, "rd") << 16
+    word |= _check_register(instr.rn, "rn") << 12
+    word |= _check_register(instr.rs, "rs") << 8
+    word |= _check_register(instr.rm, "rm")
+    return CLASS_MUL, word
+
+
+def _encode_system(instr):
+    if not 0 <= instr.imm < (1 << 20):
+        raise EncodeError("system immediate out of range: %r" % (instr.imm,))
+    word = (int(instr.op) & 0x1F) << 20
+    word |= instr.imm & 0xFFFFF
+    return CLASS_SYSTEM, word
+
+
+def encode(instr):
+    """Encode a decoded instruction into its 32-bit binary word."""
+    if isinstance(instr, DataProcessing):
+        klass, word = _encode_data_processing(instr)
+    elif isinstance(instr, LoadStore):
+        klass, word = _encode_load_store(instr)
+    elif isinstance(instr, LoadStoreMultiple):
+        klass, word = _encode_load_store_multiple(instr)
+    elif isinstance(instr, Branch):
+        klass, word = _encode_branch(instr)
+    elif isinstance(instr, Multiply):
+        klass, word = _encode_multiply(instr)
+    elif isinstance(instr, System):
+        klass, word = _encode_system(instr)
+    else:
+        raise EncodeError("cannot encode object of type %s" % type(instr).__name__)
+    return (int(instr.cond) & 0xF) << 28 | klass << 25 | (word & 0x1FFFFFF)
+
+
+def _decode_operand2_register(word):
+    return Operand2.from_register(
+        rm=word & 0xF,
+        shift_type=ShiftType((word >> 5) & 0x3),
+        shift_amount=(word >> 7) & 0x1F,
+    )
+
+
+def _decode_data_processing(cond, word, immediate):
+    if immediate:
+        operand2 = Operand2.from_immediate(word & 0xFF, (word >> 8) & 0xF)
+    else:
+        operand2 = _decode_operand2_register(word)
+    return DataProcessing(
+        cond=cond,
+        opcode=DataOpcode((word >> 21) & 0xF),
+        set_flags=bool(word & (1 << 20)),
+        rn=(word >> 16) & 0xF,
+        rd=(word >> 12) & 0xF,
+        operand2=operand2,
+    )
+
+
+def _decode_load_store(cond, word, register_offset):
+    common = dict(
+        cond=cond,
+        pre_index=bool(word & (1 << 24)),
+        up=bool(word & (1 << 23)),
+        byte=bool(word & (1 << 22)),
+        writeback=bool(word & (1 << 21)),
+        load=bool(word & (1 << 20)),
+        rn=(word >> 16) & 0xF,
+        rd=(word >> 12) & 0xF,
+    )
+    if register_offset:
+        return LoadStore(
+            offset_register=word & 0xF,
+            shift_type=ShiftType((word >> 5) & 0x3),
+            shift_amount=(word >> 7) & 0x1F,
+            **common,
+        )
+    return LoadStore(offset_immediate=word & 0xFFF, **common)
+
+
+def _decode_load_store_multiple(cond, word):
+    mask = word & 0xFFFF
+    registers = tuple(i for i in range(16) if mask & (1 << i))
+    if not registers:
+        raise DecodeError("load/store multiple with empty register list")
+    return LoadStoreMultiple(
+        cond=cond,
+        before=bool(word & (1 << 24)),
+        up=bool(word & (1 << 23)),
+        writeback=bool(word & (1 << 21)),
+        load=bool(word & (1 << 20)),
+        rn=(word >> 16) & 0xF,
+        register_list=registers,
+    )
+
+
+def _decode_branch(cond, word):
+    offset = word & 0xFFFFFF
+    if offset & 0x800000:
+        offset -= 0x1000000
+    return Branch(cond=cond, link=bool(word & (1 << 24)), offset=offset)
+
+
+def _decode_multiply(cond, word):
+    return Multiply(
+        cond=cond,
+        accumulate=bool(word & (1 << 21)),
+        set_flags=bool(word & (1 << 20)),
+        rd=(word >> 16) & 0xF,
+        rn=(word >> 12) & 0xF,
+        rs=(word >> 8) & 0xF,
+        rm=word & 0xF,
+    )
+
+
+def _decode_system(cond, word):
+    op_value = (word >> 20) & 0x1F
+    try:
+        op = SystemOp(op_value)
+    except ValueError:
+        raise DecodeError("unknown system opcode: %d" % op_value)
+    return System(cond=cond, op=op, imm=word & 0xFFFFF)
+
+
+def decode(word):
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for words that are not valid instructions.
+    """
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise DecodeError("instruction word out of 32-bit range: %r" % (word,))
+    cond_bits = (word >> 28) & 0xF
+    if cond_bits == 0xF:
+        raise DecodeError("reserved condition field 0b1111")
+    cond = Condition(cond_bits)
+    klass = (word >> 25) & 0x7
+    if klass == CLASS_DP_REG:
+        return _decode_data_processing(cond, word, immediate=False)
+    if klass == CLASS_DP_IMM:
+        return _decode_data_processing(cond, word, immediate=True)
+    if klass == CLASS_LS_IMM:
+        return _decode_load_store(cond, word, register_offset=False)
+    if klass == CLASS_LS_REG:
+        return _decode_load_store(cond, word, register_offset=True)
+    if klass == CLASS_LSM:
+        return _decode_load_store_multiple(cond, word)
+    if klass == CLASS_BRANCH:
+        return _decode_branch(cond, word)
+    if klass == CLASS_MUL:
+        return _decode_multiply(cond, word)
+    return _decode_system(cond, word)

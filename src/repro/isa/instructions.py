@@ -1,0 +1,381 @@
+"""Decoded instruction representations.
+
+Each instruction class corresponds to one *operation class* in the RCPN
+processor models: instructions of the same class share a binary layout and
+flow through the same pipeline path (paper Section 3, "Operation Class").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.isa.conditions import Condition
+from repro.isa.registers import register_name
+
+
+class DataOpcode(IntEnum):
+    """Opcodes of the data-processing (ALU) operation class."""
+
+    AND = 0x0
+    EOR = 0x1
+    SUB = 0x2
+    RSB = 0x3
+    ADD = 0x4
+    ADC = 0x5
+    SBC = 0x6
+    RSC = 0x7
+    TST = 0x8
+    TEQ = 0x9
+    CMP = 0xA
+    CMN = 0xB
+    ORR = 0xC
+    MOV = 0xD
+    BIC = 0xE
+    MVN = 0xF
+
+    @property
+    def writes_rd(self):
+        """Comparison/test opcodes only update flags and write no register."""
+        return self not in (DataOpcode.TST, DataOpcode.TEQ, DataOpcode.CMP, DataOpcode.CMN)
+
+    @property
+    def uses_rn(self):
+        """MOV and MVN take a single operand (operand2 only)."""
+        return self not in (DataOpcode.MOV, DataOpcode.MVN)
+
+
+class ShiftType(IntEnum):
+    """Barrel-shifter operation applied to a register operand."""
+
+    LSL = 0
+    LSR = 1
+    ASR = 2
+    ROR = 3
+
+
+class SystemOp(IntEnum):
+    """System operation class opcodes."""
+
+    SWI = 0
+    HALT = 1
+    NOP = 2
+
+
+@dataclass(frozen=True)
+class Operand2:
+    """The flexible second operand of data-processing instructions.
+
+    Either an 8-bit immediate rotated right by ``2 * rotate`` or a register
+    ``rm`` passed through the barrel shifter.
+    """
+
+    immediate: int = None
+    rotate: int = 0
+    rm: int = None
+    shift_type: ShiftType = ShiftType.LSL
+    shift_amount: int = 0
+
+    @property
+    def is_immediate(self):
+        return self.immediate is not None
+
+    @classmethod
+    def from_immediate(cls, immediate, rotate=0):
+        return cls(immediate=immediate, rotate=rotate)
+
+    @classmethod
+    def from_register(cls, rm, shift_type=ShiftType.LSL, shift_amount=0):
+        return cls(rm=rm, shift_type=ShiftType(shift_type), shift_amount=shift_amount)
+
+    @property
+    def immediate_value(self):
+        """The fully rotated immediate value (only valid for immediate form)."""
+        if not self.is_immediate:
+            raise ValueError("operand2 is not an immediate")
+        amount = (self.rotate * 2) % 32
+        value = self.immediate & 0xFF
+        if amount == 0:
+            return value
+        return ((value >> amount) | (value << (32 - amount))) & 0xFFFFFFFF
+
+    def __str__(self):
+        if self.is_immediate:
+            return "#%d" % self.immediate_value
+        text = register_name(self.rm)
+        if self.shift_amount:
+            text += ", %s #%d" % (self.shift_type.name.lower(), self.shift_amount)
+        return text
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class of all decoded instructions."""
+
+    cond: Condition = Condition.AL
+
+    #: Name of the RCPN operation class this instruction belongs to.
+    operation_class = "unknown"
+
+    @property
+    def mnemonic(self):
+        raise NotImplementedError
+
+    def source_registers(self):
+        """Register indices read by this instruction (excluding the PC fetch)."""
+        return ()
+
+    def destination_registers(self):
+        """Register indices written by this instruction."""
+        return ()
+
+    def is_branch(self):
+        return False
+
+    def is_memory_access(self):
+        return False
+
+    def _cond_suffix(self):
+        return Condition(self.cond).mnemonic_suffix
+
+
+@dataclass(frozen=True)
+class DataProcessing(Instruction):
+    """ALU operation class: AND/EOR/SUB/.../MVN with the barrel shifter."""
+
+    opcode: DataOpcode = DataOpcode.MOV
+    rd: int = 0
+    rn: int = 0
+    operand2: Operand2 = field(default_factory=lambda: Operand2.from_immediate(0))
+    set_flags: bool = False
+
+    operation_class = "alu"
+
+    @property
+    def mnemonic(self):
+        suffix = self._cond_suffix()
+        flag = "s" if self.set_flags and self.opcode.writes_rd else ""
+        return self.opcode.name.lower() + suffix + flag
+
+    def source_registers(self):
+        sources = []
+        if self.opcode.uses_rn:
+            sources.append(self.rn)
+        if not self.operand2.is_immediate:
+            sources.append(self.operand2.rm)
+        return tuple(sources)
+
+    def destination_registers(self):
+        if self.opcode.writes_rd:
+            return (self.rd,)
+        return ()
+
+    def __str__(self):
+        parts = [self.mnemonic]
+        operands = []
+        if self.opcode.writes_rd:
+            operands.append(register_name(self.rd))
+        if self.opcode.uses_rn:
+            operands.append(register_name(self.rn))
+        operands.append(str(self.operand2))
+        return "%s %s" % (parts[0], ", ".join(operands))
+
+
+@dataclass(frozen=True)
+class Multiply(Instruction):
+    """Multiply operation class: MUL and MLA."""
+
+    rd: int = 0
+    rm: int = 0
+    rs: int = 0
+    rn: int = 0
+    accumulate: bool = False
+    set_flags: bool = False
+
+    operation_class = "mul"
+
+    @property
+    def mnemonic(self):
+        base = "mla" if self.accumulate else "mul"
+        return base + self._cond_suffix() + ("s" if self.set_flags else "")
+
+    def source_registers(self):
+        sources = [self.rm, self.rs]
+        if self.accumulate:
+            sources.append(self.rn)
+        return tuple(sources)
+
+    def destination_registers(self):
+        return (self.rd,)
+
+    def __str__(self):
+        regs = [register_name(self.rd), register_name(self.rm), register_name(self.rs)]
+        if self.accumulate:
+            regs.append(register_name(self.rn))
+        return "%s %s" % (self.mnemonic, ", ".join(regs))
+
+
+@dataclass(frozen=True)
+class LoadStore(Instruction):
+    """Single-word/byte load/store operation class (LDR/STR/LDRB/STRB)."""
+
+    load: bool = True
+    byte: bool = False
+    rd: int = 0
+    rn: int = 0
+    offset_immediate: int = None
+    offset_register: int = None
+    shift_type: ShiftType = ShiftType.LSL
+    shift_amount: int = 0
+    pre_index: bool = True
+    up: bool = True
+    writeback: bool = False
+
+    operation_class = "mem"
+
+    @property
+    def mnemonic(self):
+        base = "ldr" if self.load else "str"
+        return base + self._cond_suffix() + ("b" if self.byte else "")
+
+    @property
+    def has_register_offset(self):
+        return self.offset_register is not None
+
+    def source_registers(self):
+        sources = [self.rn]
+        if self.has_register_offset:
+            sources.append(self.offset_register)
+        if not self.load:
+            sources.append(self.rd)
+        return tuple(sources)
+
+    def destination_registers(self):
+        dests = []
+        if self.load:
+            dests.append(self.rd)
+        if self.writeback or not self.pre_index:
+            dests.append(self.rn)
+        return tuple(dests)
+
+    def is_memory_access(self):
+        return True
+
+    def __str__(self):
+        if self.has_register_offset:
+            offset = register_name(self.offset_register)
+            if self.shift_amount:
+                offset += ", %s #%d" % (self.shift_type.name.lower(), self.shift_amount)
+        else:
+            offset = "#%d" % ((self.offset_immediate or 0) * (1 if self.up else -1))
+        if self.pre_index:
+            address = "[%s, %s]%s" % (register_name(self.rn), offset, "!" if self.writeback else "")
+        else:
+            address = "[%s], %s" % (register_name(self.rn), offset)
+        return "%s %s, %s" % (self.mnemonic, register_name(self.rd), address)
+
+
+@dataclass(frozen=True)
+class LoadStoreMultiple(Instruction):
+    """Block-transfer operation class (LDM/STM).
+
+    On XScale these instructions generate one micro-operation per transferred
+    register; the RCPN model exploits the paper's "sub-net may generate
+    multiple instruction tokens" rule to model this.
+    """
+
+    load: bool = True
+    rn: int = 0
+    register_list: tuple = ()
+    writeback: bool = False
+    before: bool = False
+    up: bool = True
+
+    operation_class = "memm"
+
+    @property
+    def mnemonic(self):
+        base = "ldm" if self.load else "stm"
+        mode = ("ib" if self.before else "ia") if self.up else ("db" if self.before else "da")
+        return base + self._cond_suffix() + mode
+
+    def source_registers(self):
+        sources = [self.rn]
+        if not self.load:
+            sources.extend(self.register_list)
+        return tuple(sources)
+
+    def destination_registers(self):
+        dests = []
+        if self.load:
+            dests.extend(self.register_list)
+        if self.writeback:
+            dests.append(self.rn)
+        return tuple(dests)
+
+    def is_memory_access(self):
+        return True
+
+    def __str__(self):
+        regs = ", ".join(register_name(r) for r in self.register_list)
+        bang = "!" if self.writeback else ""
+        return "%s %s%s, {%s}" % (self.mnemonic, register_name(self.rn), bang, regs)
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """Branch operation class (B/BL) with a signed 24-bit word offset."""
+
+    link: bool = False
+    offset: int = 0
+
+    operation_class = "branch"
+
+    @property
+    def mnemonic(self):
+        return ("bl" if self.link else "b") + self._cond_suffix()
+
+    def source_registers(self):
+        return ()
+
+    def destination_registers(self):
+        from repro.isa.registers import LR
+
+        return (LR,) if self.link else ()
+
+    def is_branch(self):
+        return True
+
+    def target(self, address):
+        """Branch target for an instruction fetched at ``address``.
+
+        As on ARM, the offset is relative to the address of the instruction
+        plus 8 (two instruction slots ahead, reflecting the visible pipeline).
+        """
+        return (address + 8 + self.offset * 4) & 0xFFFFFFFF
+
+    def __str__(self):
+        return "%s %+d" % (self.mnemonic, self.offset * 4 + 8)
+
+
+@dataclass(frozen=True)
+class System(Instruction):
+    """System operation class: software interrupt, halt and no-op."""
+
+    op: SystemOp = SystemOp.NOP
+    imm: int = 0
+
+    operation_class = "system"
+
+    @property
+    def mnemonic(self):
+        return self.op.name.lower() + self._cond_suffix()
+
+    def __str__(self):
+        if self.op is SystemOp.SWI:
+            return "swi #%d" % self.imm
+        return self.mnemonic
+
+
+#: All operation classes in decode priority order.
+OPERATION_CLASSES = ("alu", "mul", "mem", "memm", "branch", "system")

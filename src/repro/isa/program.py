@@ -1,0 +1,46 @@
+"""Assembled program image: words, origin, entry point and symbol table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled binary image.
+
+    ``words`` is the little-endian word image starting at ``origin``;
+    ``entry`` is the address execution starts at; ``symbols`` maps label
+    names to addresses.
+    """
+
+    words: tuple
+    origin: int = 0
+    entry: int = 0
+    symbols: dict = field(default_factory=dict)
+
+    @property
+    def size_bytes(self):
+        return 4 * len(self.words)
+
+    @property
+    def end(self):
+        return self.origin + self.size_bytes
+
+    def load_into(self, memory):
+        """Copy the image into a memory object exposing ``write_word``."""
+        for index, word in enumerate(self.words):
+            memory.write_word(self.origin + 4 * index, word)
+
+    def word_at(self, address):
+        """Return the image word at ``address`` (must be inside the image)."""
+        if address % 4:
+            raise ValueError("unaligned address: %#x" % address)
+        index = (address - self.origin) // 4
+        if not 0 <= index < len(self.words):
+            raise IndexError("address %#x outside program image" % address)
+        return self.words[index]
+
+    def address_of(self, symbol):
+        """Look up a label address."""
+        return self.symbols[symbol]

@@ -1,0 +1,57 @@
+"""Architectural register definitions for the ARM7-inspired ISA.
+
+Sixteen general-purpose registers are visible at any time.  As on ARM,
+``r13`` is conventionally the stack pointer, ``r14`` the link register and
+``r15`` the program counter.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 16
+
+SP = 13
+LR = 14
+PC = 15
+
+_ALIASES = {
+    "sp": SP,
+    "lr": LR,
+    "pc": PC,
+    "fp": 11,
+    "ip": 12,
+}
+
+
+class RegisterNames:
+    """Canonical register names ``r0`` .. ``r15`` plus ARM aliases."""
+
+    ALL = tuple("r%d" % i for i in range(NUM_REGISTERS))
+    ALIASES = dict(_ALIASES)
+
+
+def register_name(index):
+    """Return the canonical name (``r0`` .. ``r15``) for a register index."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError("register index out of range: %r" % (index,))
+    if index == SP:
+        return "sp"
+    if index == LR:
+        return "lr"
+    if index == PC:
+        return "pc"
+    return "r%d" % index
+
+
+def register_number(name):
+    """Parse a register name (``r3``, ``sp``, ``pc`` ...) into its index."""
+    token = name.strip().lower()
+    if token in _ALIASES:
+        return _ALIASES[token]
+    if token.startswith("r"):
+        try:
+            index = int(token[1:])
+        except ValueError:
+            raise ValueError("not a register name: %r" % (name,))
+        if 0 <= index < NUM_REGISTERS:
+            return index
+    raise ValueError("not a register name: %r" % (name,))

@@ -1,0 +1,143 @@
+"""Set-associative write-back cache model with LRU replacement.
+
+Only timing and hit/miss behaviour are modeled in the cache itself; data
+always lives in the backing store.  This mirrors how trace-driven
+cycle-accurate simulators (including SimpleScalar's ``sim-cache``-derived
+models) treat caches: the simulator needs latencies and statistics, while
+correctness of data comes from the functional memory image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str = "L1"
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 32
+    associativity: int = 32
+    hit_latency: int = 1
+    miss_penalty: int = 30
+
+    def __post_init__(self):
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a positive power of two")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError("cache size must be a multiple of line size * associativity")
+
+    @property
+    def num_sets(self):
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass
+class CacheStatistics:
+    """Counters accumulated by a cache during simulation."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self):
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self):
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class _CacheSet:
+    """One set: an ordered mapping from tag to dirty bit (front = MRU)."""
+
+    __slots__ = ("lines",)
+
+    def __init__(self):
+        self.lines = {}
+
+    def lookup(self, tag):
+        return tag in self.lines
+
+    def touch(self, tag):
+        dirty = self.lines.pop(tag)
+        self.lines[tag] = dirty
+
+    def insert(self, tag, associativity, dirty=False):
+        """Insert a tag; returns the evicted (tag, dirty) pair or ``None``."""
+        evicted = None
+        if len(self.lines) >= associativity:
+            victim_tag = next(iter(self.lines))
+            evicted = (victim_tag, self.lines.pop(victim_tag))
+        self.lines[tag] = dirty
+        return evicted
+
+    def mark_dirty(self, tag):
+        self.lines.pop(tag)
+        self.lines[tag] = True
+
+
+class Cache:
+    """A single cache level in front of a backing store.
+
+    ``backing`` must expose ``access_latency(address)``; the cache adds its
+    own hit latency and charges the backing latency (as ``miss_penalty`` plus
+    the backing store's own latency) on misses.
+    """
+
+    def __init__(self, config, backing=None):
+        self.config = config
+        self.backing = backing
+        self.stats = CacheStatistics()
+        self._sets = [_CacheSet() for _ in range(config.num_sets)]
+
+    def reset(self):
+        self.stats = CacheStatistics()
+        self._sets = [_CacheSet() for _ in range(self.config.num_sets)]
+
+    def _locate(self, address):
+        line = address // self.config.line_bytes
+        index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        return self._sets[index], tag
+
+    def access(self, address, is_write=False):
+        """Perform one access; returns the latency in cycles."""
+        cache_set, tag = self._locate(address)
+        self.stats.accesses += 1
+        if cache_set.lookup(tag):
+            self.stats.hits += 1
+            if is_write:
+                cache_set.mark_dirty(tag)
+            else:
+                cache_set.touch(tag)
+            return self.config.hit_latency
+
+        self.stats.misses += 1
+        latency = self.config.hit_latency + self.config.miss_penalty
+        if self.backing is not None:
+            latency += self.backing.access_latency(address)
+        evicted = cache_set.insert(tag, self.config.associativity, dirty=is_write)
+        if evicted is not None:
+            self.stats.evictions += 1
+            if evicted[1]:
+                self.stats.writebacks += 1
+        return latency
+
+    def access_latency(self, address, is_write=False):
+        """Alias of :meth:`access`, matching the backing-store protocol."""
+        return self.access(address, is_write)
+
+    def contains(self, address):
+        """True if the line holding ``address`` is currently resident."""
+        cache_set, tag = self._locate(address)
+        return cache_set.lookup(tag)

@@ -1,0 +1,98 @@
+"""Memory hierarchy combining main memory with split I/D first-level caches.
+
+This is the non-pipeline unit that RCPN transitions reference to obtain
+data-dependent latencies (paper Section 3.2, transition ``M`` in the
+LoadStore sub-net: ``t.delay = mem.delay(addr)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.main_memory import MainMemory
+
+
+@dataclass(frozen=True)
+class MemorySystemConfig:
+    """Configuration of a split-cache memory hierarchy.
+
+    The defaults follow the XScale/StrongARM organisation: 32 KB 32-way
+    instruction and data caches with 32-byte lines in front of a
+    fixed-latency memory.  The caches' own ``miss_penalty`` is zero here
+    because the full miss cost is charged as the backing memory latency.
+    """
+
+    icache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(name="I$", miss_penalty=0)
+    )
+    dcache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(name="D$", miss_penalty=0)
+    )
+    memory_latency: int = 30
+    perfect_caches: bool = False
+
+
+class MemorySystem:
+    """Functional storage plus timing model.
+
+    * ``read_word`` / ``write_word`` / ``read_byte`` / ``write_byte`` are the
+      functional interface used for architectural state (always correct, no
+      timing involved);
+    * ``instruction_delay(address)`` and ``data_delay(address, is_write)``
+      return access latencies in cycles and update cache statistics; the
+      processor models use these to set token delays.
+    """
+
+    def __init__(self, config=None):
+        self.config = config or MemorySystemConfig()
+        self.memory = MainMemory(latency=self.config.memory_latency)
+        self.icache = Cache(self.config.icache, backing=self.memory)
+        self.dcache = Cache(self.config.dcache, backing=self.memory)
+
+    # -- functional interface -------------------------------------------------
+    def read_word(self, address):
+        return self.memory.read_word(address)
+
+    def write_word(self, address, value):
+        self.memory.write_word(address, value)
+
+    def read_byte(self, address):
+        return self.memory.read_byte(address)
+
+    def write_byte(self, address, value):
+        self.memory.write_byte(address, value)
+
+    def load_program(self, program):
+        self.memory.load_program(program)
+
+    # -- timing interface -----------------------------------------------------
+    def instruction_delay(self, address):
+        """Latency of an instruction fetch at ``address``."""
+        if self.config.perfect_caches:
+            return self.config.icache.hit_latency
+        return self.icache.access(address, is_write=False)
+
+    def data_delay(self, address, is_write=False):
+        """Latency of a data access at ``address``."""
+        if self.config.perfect_caches:
+            return self.config.dcache.hit_latency
+        return self.dcache.access(address, is_write=is_write)
+
+    # Paper-style alias used in the LoadStore sub-net example (Figure 5).
+    def delay(self, address, is_write=False):
+        return self.data_delay(address, is_write)
+
+    def reset_statistics(self):
+        self.icache.reset()
+        self.dcache.reset()
+        self.memory.reset_statistics()
+
+    def statistics(self):
+        """Return a dictionary of cache statistics for reporting."""
+        return {
+            "icache": self.icache.stats,
+            "dcache": self.dcache.stats,
+            "memory_reads": self.memory.read_count,
+            "memory_writes": self.memory.write_count,
+        }

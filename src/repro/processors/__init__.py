@@ -1,0 +1,36 @@
+"""RCPN processor models.
+
+* :mod:`repro.processors.example` — the paper's Figure 4/5 representative
+  out-of-order-completion processor with a feedback (bypass) path; the
+  pedagogical model used by the quickstart example.
+* :mod:`repro.processors.strongarm` — the StrongARM SA-110 five-stage
+  pipeline of the paper's experiments.
+* :mod:`repro.processors.xscale` — the Intel XScale seven-stage pipeline
+  (Figure 9): in-order issue, out-of-order completion across the X/D/M
+  pipes, BTB branch prediction.
+
+All models build an :class:`repro.core.RCPN` and are wrapped in a
+:class:`repro.processors.common.Processor` facade that knows how to load a
+program, run the generated simulator and report statistics.
+"""
+
+from repro.processors.common import Processor, ProcessorCore
+from repro.processors.example import build_example_processor
+from repro.processors.strongarm import build_strongarm_processor
+from repro.processors.xscale import build_xscale_processor
+
+#: Model builders by name, used by the benchmark harness.
+MODEL_BUILDERS = {
+    "example": build_example_processor,
+    "strongarm": build_strongarm_processor,
+    "xscale": build_xscale_processor,
+}
+
+__all__ = [
+    "Processor",
+    "ProcessorCore",
+    "build_example_processor",
+    "build_strongarm_processor",
+    "build_xscale_processor",
+    "MODEL_BUILDERS",
+]

@@ -1,0 +1,43 @@
+"""Benchmark workloads.
+
+The paper evaluates its simulators on six programs: adpcm and g721
+(MediaBench), blowfish and crc (MiBench), compress and go (SPEC95).  The
+original binaries are compiled with ``arm-linux-gcc`` from sources we cannot
+redistribute, so this package provides hand-written assembly kernels that
+exercise the same behavioural mix on our ARM7-inspired ISA:
+
+========  ===========================================================
+kernel    behavioural profile it mimics
+========  ===========================================================
+adpcm     ALU-dominated sample quantisation with data-dependent
+          conditionals and a small table in memory
+blowfish  Feistel rounds dominated by S-box loads and xors
+compress  byte-wise run-length scanning: loads, stores, compares
+crc       bit-serial polynomial division: tight branchy ALU loop
+g721      multiply-accumulate linear-prediction filter (MUL/MLA heavy)
+go        board scanning with irregular, data-dependent branches
+========  ===========================================================
+
+Every kernel is parameterised by a ``scale`` factor controlling its dynamic
+instruction count, ends with ``halt`` and leaves a checksum in ``r0`` so the
+functional and cycle-accurate simulators can be cross-validated.
+"""
+
+from repro.workloads.kernels import KERNEL_BUILDERS, kernel_source
+from repro.workloads.registry import (
+    Workload,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.generator import SyntheticWorkloadGenerator
+
+__all__ = [
+    "Workload",
+    "get_workload",
+    "all_workloads",
+    "workload_names",
+    "kernel_source",
+    "KERNEL_BUILDERS",
+    "SyntheticWorkloadGenerator",
+]

@@ -1,0 +1,427 @@
+"""Assembly kernels standing in for the paper's benchmark programs.
+
+Each ``*_source(scale)`` function returns assembly text for the ARM7-inspired
+ISA.  The kernels are self-contained: they synthesise their own input data
+with a xorshift pseudo-random generator (no file IO), run the algorithm and
+leave a checksum in ``r0`` before executing ``halt``.
+"""
+
+from __future__ import annotations
+
+DATA_BASE = 0x8000
+AUX_BASE = 0xC000
+STACK_TOP = 0x20000
+
+
+def load_const(register, value):
+    """Assembly lines that materialise an arbitrary 32-bit constant.
+
+    The constant is assembled from up to four rotated 8-bit immediates, the
+    standard ARM idiom for constants that do not fit one immediate field.
+    """
+    value &= 0xFFFFFFFF
+    chunks = [(value >> shift) & 0xFF for shift in (0, 8, 16, 24)]
+    lines = []
+    first = True
+    for index, chunk in enumerate(chunks):
+        if chunk == 0 and not (first and index == 3):
+            continue
+        part = chunk << (8 * index)
+        if first:
+            lines.append("    mov %s, #%d" % (register, part))
+            first = False
+        else:
+            lines.append("    orr %s, %s, #%d" % (register, register, part))
+    if first:
+        lines.append("    mov %s, #0" % register)
+    return "\n".join(lines)
+
+
+_XORSHIFT = """\
+    eor {r}, {r}, {r}, lsl #13
+    eor {r}, {r}, {r}, lsr #17
+    eor {r}, {r}, {r}, lsl #5
+"""
+
+
+def xorshift(register):
+    """Three-instruction xorshift32 update of ``register`` (data synthesis)."""
+    return _XORSHIFT.format(r=register)
+
+
+def crc_source(scale=1):
+    """Bit-serial CRC-32 over a synthesised buffer (MiBench crc stand-in)."""
+    nbytes = 96 * scale
+    return """\
+; crc kernel: bit-serial CRC-32 of a pseudo-random buffer
+main:
+    mov r6, #199
+    mov r1, #{data}
+    mov r2, #{nbytes}
+    mov r7, r1
+    mov r8, r2
+fill:
+{rand}
+    str r6, [r7], #4
+    subs r8, r8, #4
+    bgt fill
+
+    mvn r0, #0
+{poly}
+    mov r7, r1
+    mov r8, r2
+byte_loop:
+    ldrb r4, [r7], #1
+    eor r0, r0, r4
+    mov r5, #8
+bit_loop:
+    ands r9, r0, #1
+    mov r0, r0, lsr #1
+    eorne r0, r0, r3
+    subs r5, r5, #1
+    bgt bit_loop
+    subs r8, r8, #1
+    bgt byte_loop
+    mvn r0, r0
+    swi #1
+    halt
+""".format(
+        data=DATA_BASE,
+        nbytes=nbytes,
+        rand=xorshift("r6").rstrip(),
+        poly=load_const("r3", 0xEDB88320),
+    )
+
+
+def adpcm_source(scale=1):
+    """ADPCM-style sample quantisation loop (MediaBench adpcm stand-in)."""
+    nsamples = 192 * scale
+    return """\
+; adpcm kernel: quantise synthetic samples with an adaptive step size
+main:
+    mov r0, #0          ; checksum
+    mov r1, #0          ; predictor
+    mov r2, #0          ; step index
+    mov r3, #4          ; step size
+    mov r6, #77         ; xorshift state
+    mov r11, #{nsamples}
+sample_loop:
+{rand}
+    and r5, r6, #255    ; sample in 0..255
+    sub r5, r5, r1      ; diff = sample - predictor
+    mov r4, #0
+    cmp r5, #0
+    rsblt r5, r5, #0    ; abs(diff)
+    movlt r4, #8        ; sign bit of the code
+    cmp r5, r3
+    orrge r4, r4, #4
+    subge r5, r5, r3
+    cmp r5, r3, lsr #1
+    orrge r4, r4, #2
+    subge r5, r5, r3, lsr #1
+    cmp r5, r3, lsr #2
+    orrge r4, r4, #1
+    ; reconstruct: predictor += / -= quantised difference
+    and r9, r4, #7
+    mul r10, r9, r3
+    mov r10, r10, lsr #2
+    tst r4, #8
+    addeq r1, r1, r10
+    subne r1, r1, r10
+    ; clamp predictor to 0..255
+    cmp r1, #0
+    movlt r1, #0
+    cmp r1, #255
+    movgt r1, #255
+    ; adapt the step index: big codes speed up, small codes slow down
+    and r9, r4, #7
+    cmp r9, #4
+    addge r2, r2, #2
+    sublt r2, r2, #1
+    cmp r2, #0
+    movlt r2, #0
+    cmp r2, #24
+    movgt r2, #24
+    ; step = (index + 2) * (index + 3) / 2
+    add r9, r2, #2
+    add r10, r2, #3
+    mul r3, r9, r10
+    mov r3, r3, lsr #1
+    ; accumulate the checksum of emitted codes
+    add r0, r4, r0, lsl #1
+    subs r11, r11, #1
+    bgt sample_loop
+    swi #1
+    halt
+""".format(nsamples=nsamples, rand=xorshift("r6").rstrip())
+
+
+def blowfish_source(scale=1):
+    """Feistel rounds with S-box lookups (MiBench blowfish stand-in)."""
+    nblocks = 24 * scale
+    return """\
+; blowfish kernel: Feistel network with table lookups
+main:
+    mov r12, #{sbox}
+    mov r6, #91
+    mov r7, r12
+    mov r8, #256
+sbox_fill:
+{rand}
+    str r6, [r7], #4
+    subs r8, r8, #1
+    bgt sbox_fill
+
+    mov r0, #0          ; checksum
+    mov r11, #{nblocks}
+block_loop:
+{rand2}
+    mov r1, r6          ; left half
+    eor r2, r6, r6, ror #11
+    mov r10, #16        ; rounds
+round_loop:
+    ; F(left): combine two S-box entries selected by bytes of the left half
+    and r3, r1, #255
+    mov r4, r1, lsr #8
+    and r4, r4, #255
+    ldr r5, [r12, r3, lsl #2]
+    ldr r9, [r12, r4, lsl #2]
+    add r5, r5, r9
+    eor r5, r5, r1, ror #3
+    eor r2, r2, r5
+    ; swap halves
+    mov r3, r1
+    mov r1, r2
+    mov r2, r3
+    subs r10, r10, #1
+    bgt round_loop
+    eor r0, r0, r1
+    add r0, r0, r2
+    subs r11, r11, #1
+    bgt block_loop
+    swi #1
+    halt
+""".format(
+        sbox=DATA_BASE,
+        nblocks=nblocks,
+        rand=xorshift("r6").rstrip(),
+        rand2=xorshift("r6").rstrip(),
+    )
+
+
+def compress_source(scale=1):
+    """Run-length encoding of a byte buffer (SPEC95 compress stand-in)."""
+    nbytes = 224 * scale
+    return """\
+; compress kernel: run-length encode a partly repetitive byte buffer
+main:
+    mov r1, #{data}     ; input buffer
+    mov r2, #{out}      ; output buffer
+    mov r3, #{nbytes}
+    mov r6, #57
+    mov r7, r1
+    mov r8, r3
+    mov r9, #0
+fill:
+{rand}
+    and r4, r6, #15
+    cmp r4, #11
+    movge r4, #7        ; force frequent repeats so runs exist
+    strb r4, [r7], #1
+    subs r8, r8, #1
+    bgt fill
+
+    ; RLE scan: emit (value, run length) byte pairs
+    mov r7, r1          ; read pointer
+    mov r8, r2          ; write pointer
+    mov r0, #0          ; checksum of emitted pairs
+    ldrb r4, [r7], #1   ; current run value
+    mov r5, #1          ; current run length
+    sub r9, r3, #1      ; remaining bytes
+scan_loop:
+    cmp r9, #0
+    ble flush
+    ldrb r10, [r7], #1
+    sub r9, r9, #1
+    cmp r10, r4
+    bne emit
+    add r5, r5, #1
+    cmp r5, #255
+    blt scan_loop
+emit:
+    strb r4, [r8], #1
+    strb r5, [r8], #1
+    add r0, r0, r4
+    add r0, r0, r5, lsl #8
+    mov r4, r10
+    mov r5, #1
+    b scan_loop
+flush:
+    strb r4, [r8], #1
+    strb r5, [r8], #1
+    add r0, r0, r4
+    add r0, r0, r5, lsl #8
+    swi #1
+    halt
+""".format(
+        data=DATA_BASE,
+        out=AUX_BASE,
+        nbytes=nbytes,
+        rand=xorshift("r6").rstrip(),
+    )
+
+
+def g721_source(scale=1):
+    """Multiply-accumulate linear prediction filter (MediaBench g721 stand-in)."""
+    nsamples = 160 * scale
+    return """\
+; g721 kernel: six-tap adaptive predictor built on multiply-accumulate
+main:
+    mov r1, #{hist}     ; history buffer (6 words)
+    mov r7, r1
+    mov r8, #6
+    mov r6, #0
+clear_hist:
+    str r6, [r7], #4
+    subs r8, r8, #1
+    bgt clear_hist
+
+    mov r0, #0          ; checksum
+    mov r6, #123        ; xorshift state
+    mov r11, #{nsamples}
+sample_loop:
+{rand}
+    and r5, r6, #1020   ; new sample (rotated-immediate encodable mask)
+    ; acc = sum coeff[i] * history[i]; coefficients are small constants
+    ldr r2, [r1, #0]
+    mov r3, #3
+    mul r4, r2, r3
+    ldr r2, [r1, #4]
+    mov r3, #5
+    mla r4, r2, r3, r4
+    ldr r2, [r1, #8]
+    mov r3, #7
+    mla r4, r2, r3, r4
+    ldr r2, [r1, #12]
+    mov r3, #2
+    mla r4, r2, r3, r4
+    ldr r2, [r1, #16]
+    mov r3, #4
+    mla r4, r2, r3, r4
+    ldr r2, [r1, #20]
+    mov r3, #6
+    mla r4, r2, r3, r4
+    mov r4, r4, asr #4  ; prediction
+    sub r9, r5, r4      ; prediction error
+    ; shift the history: history[i] = history[i-1], history[0] = sample
+    ldr r2, [r1, #16]
+    str r2, [r1, #20]
+    ldr r2, [r1, #12]
+    str r2, [r1, #16]
+    ldr r2, [r1, #8]
+    str r2, [r1, #12]
+    ldr r2, [r1, #4]
+    str r2, [r1, #8]
+    ldr r2, [r1, #0]
+    str r2, [r1, #4]
+    str r5, [r1, #0]
+    ; accumulate the checksum of prediction errors
+    eor r0, r9, r0, ror #7
+    subs r11, r11, #1
+    bgt sample_loop
+    swi #1
+    halt
+""".format(hist=DATA_BASE, nsamples=nsamples, rand=xorshift("r6").rstrip())
+
+
+def go_source(scale=1):
+    """Board-scanning heuristic with irregular branches (SPEC95 go stand-in)."""
+    passes = 2 * scale
+    board = 19 * 19
+    return """\
+; go kernel: scan a 19x19 board and score empty points by their neighbours
+main:
+    mov r1, #{board}    ; board base
+    mov r6, #37
+    mov r7, r1
+    mov r8, #19
+    mul r8, r8, r8      ; 361 cells (19 x 19)
+fill_board:
+{rand}
+    and r4, r6, #3
+    cmp r4, #3
+    moveq r4, #0        ; values 0 (empty), 1 (black), 2 (white)
+    strb r4, [r7], #1
+    subs r8, r8, #1
+    bgt fill_board
+
+    mov r0, #0          ; score checksum
+    mov r11, #{passes}
+pass_loop:
+    mov r9, #19         ; row counter (skip the border rows below)
+    sub r9, r9, #2
+    mov r2, #1          ; row index
+row_loop:
+    mov r3, #1          ; column index
+    mov r10, #17        ; columns per row (skip borders)
+col_loop:
+    ; cell address = board + row*19 + col
+    mov r4, #19
+    mul r4, r2, r4
+    add r4, r4, r3
+    add r4, r4, r1
+    ldrb r5, [r4, #0]
+    cmp r5, #0
+    bne occupied
+    ; empty point: count occupied neighbours
+    ldrb r5, [r4, #1]
+    cmp r5, #0
+    addne r0, r0, #1
+    ldrb r5, [r4, #-1]
+    cmp r5, #0
+    addne r0, r0, #1
+    ldrb r5, [r4, #19]
+    cmp r5, #2
+    addeq r0, r0, #3
+    ldrb r5, [r4, #-19]
+    cmp r5, #1
+    addeq r0, r0, #2
+    b next_cell
+occupied:
+    cmp r5, #2
+    addeq r0, r0, #5
+    subne r0, r0, #1
+next_cell:
+    add r3, r3, #1
+    subs r10, r10, #1
+    bgt col_loop
+    add r2, r2, #1
+    subs r9, r9, #1
+    bgt row_loop
+    subs r11, r11, #1
+    bgt pass_loop
+    swi #1
+    halt
+""".format(board=DATA_BASE, passes=passes, rand=xorshift("r6").rstrip())
+
+
+#: Builders for the six paper benchmarks, keyed by the paper's names.
+KERNEL_BUILDERS = {
+    "adpcm": adpcm_source,
+    "blowfish": blowfish_source,
+    "compress": compress_source,
+    "crc": crc_source,
+    "g721": g721_source,
+    "go": go_source,
+}
+
+
+def kernel_source(name, scale=1):
+    """Assembly text of the named kernel at the given scale."""
+    try:
+        builder = KERNEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown kernel %r (available: %s)" % (name, ", ".join(sorted(KERNEL_BUILDERS)))
+        )
+    return builder(scale)

@@ -1,0 +1,56 @@
+"""Workload registry: named, pre-assembled benchmark programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.assembler import assemble
+from repro.workloads.kernels import KERNEL_BUILDERS, kernel_source
+
+#: Suite each kernel stands in for, as named by the paper.
+KERNEL_SUITES = {
+    "adpcm": "MediaBench",
+    "blowfish": "MiBench",
+    "compress": "SPEC95",
+    "crc": "MiBench",
+    "g721": "MediaBench",
+    "go": "SPEC95",
+}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark: its source text and assembled program image."""
+
+    name: str
+    suite: str
+    scale: int
+    source: str
+    program: object = field(repr=False, default=None)
+
+    @property
+    def entry(self):
+        return self.program.entry
+
+
+def workload_names():
+    """The six benchmark names, in the order the paper's figures use."""
+    return ("adpcm", "blowfish", "compress", "crc", "g721", "go")
+
+
+def get_workload(name, scale=1):
+    """Assemble and return the named workload at the given scale."""
+    source = kernel_source(name, scale)
+    program = assemble(source)
+    return Workload(
+        name=name,
+        suite=KERNEL_SUITES.get(name, "synthetic"),
+        scale=scale,
+        source=source,
+        program=program,
+    )
+
+
+def all_workloads(scale=1):
+    """All six paper benchmarks at the given scale."""
+    return [get_workload(name, scale) for name in workload_names()]

@@ -1,0 +1,159 @@
+"""Integration tests: the generated RCPN simulators against the references.
+
+These are the repository's equivalent of the paper's implicit correctness
+requirement: a cycle-accurate simulator must produce the same architectural
+results as a functional simulation of the same binary, for every benchmark.
+"""
+
+import pytest
+
+from repro.baseline import FunctionalSimulator, SimpleScalarLikeSimulator
+from repro.core import EngineOptions
+from repro.processors import (
+    build_example_processor,
+    build_strongarm_processor,
+    build_xscale_processor,
+)
+from repro.workloads import get_workload, workload_names
+
+KERNELS = workload_names()
+FULL_ISA_MODELS = {
+    "strongarm": build_strongarm_processor,
+    "xscale": build_xscale_processor,
+}
+
+
+def functional_reference(workload):
+    simulator = FunctionalSimulator()
+    simulator.load_program(workload.program)
+    stats = simulator.run()
+    return simulator, stats
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("model", sorted(FULL_ISA_MODELS))
+def test_rcpn_models_match_functional_architectural_state(model, kernel):
+    workload = get_workload(kernel, scale=1)
+    functional, fstats = functional_reference(workload)
+
+    processor = FULL_ISA_MODELS[model]()
+    processor.load_program(workload.program)
+    stats = processor.run()
+
+    assert stats.finish_reason == "halt"
+    assert stats.instructions == fstats.instructions
+    assert processor.register(0) == functional.register(0)
+
+
+@pytest.mark.parametrize("kernel", ["crc", "compress", "blowfish"])
+def test_example_model_matches_functional_on_supported_kernels(kernel):
+    # The Figure 4/5 example model implements only the alu/mem/branch/system
+    # classes; these three kernels use no multiply or block transfer.
+    workload = get_workload(kernel, scale=1)
+    functional, fstats = functional_reference(workload)
+    processor = build_example_processor()
+    processor.load_program(workload.program)
+    stats = processor.run(max_cycles=2_000_000)
+    assert stats.instructions == fstats.instructions
+    assert processor.register(0) == functional.register(0)
+
+
+@pytest.mark.parametrize("kernel", ["crc", "go"])
+def test_rcpn_cpi_within_band_of_simplescalar_baseline(kernel):
+    """Figure 11: the CPI of the generated simulator tracks the baseline."""
+    workload = get_workload(kernel, scale=1)
+    baseline = SimpleScalarLikeSimulator()
+    baseline.load_program(workload.program)
+    bstats = baseline.run()
+
+    processor = build_strongarm_processor()
+    processor.load_program(workload.program)
+    rstats = processor.run()
+
+    assert 1.0 <= bstats.cpi <= 4.0
+    assert 1.0 <= rstats.cpi <= 4.0
+    # The paper reports ~10% difference; allow a generous band here.
+    assert rstats.cpi == pytest.approx(bstats.cpi, rel=0.5)
+
+
+def test_xscale_deeper_pipeline_costs_more_cycles_than_strongarm():
+    workload = get_workload("go", scale=1)
+    results = {}
+    for name, builder in FULL_ISA_MODELS.items():
+        processor = builder()
+        processor.load_program(workload.program)
+        results[name] = processor.run().cpi
+    assert results["xscale"] >= results["strongarm"]
+
+
+def test_engine_optimisations_do_not_change_simulated_behaviour():
+    """The two engine optimisations are pure speed-ups (Section 4)."""
+    workload = get_workload("crc", scale=1)
+    reference = None
+    for options in (
+        EngineOptions(),
+        EngineOptions(use_sorted_transitions=False),
+        EngineOptions(two_list_everywhere=True),
+    ):
+        processor = build_strongarm_processor(engine_options=options)
+        processor.load_program(workload.program)
+        stats = processor.run()
+        key = (stats.cycles, stats.instructions, processor.register(0))
+        if reference is None:
+            reference = key
+        else:
+            assert key == reference
+
+
+def test_decode_cache_ablation_preserves_results_and_counts_hits():
+    workload = get_workload("adpcm", scale=1)
+    cached = build_strongarm_processor(use_decode_cache=True)
+    cached.load_program(workload.program)
+    cached_stats = cached.run()
+    assert cached.decoder.hits > cached.decoder.misses
+
+    uncached = build_strongarm_processor(use_decode_cache=False)
+    uncached.load_program(workload.program)
+    uncached_stats = uncached.run()
+    assert uncached.decoder.hits == 0
+    assert cached_stats.cycles == uncached_stats.cycles
+    assert cached.register(0) == uncached.register(0)
+
+
+def test_branch_heavy_kernel_exercises_reservation_stall_mechanism():
+    workload = get_workload("crc", scale=1)
+    processor = build_strongarm_processor()
+    processor.load_program(workload.program)
+    stats = processor.run()
+    firings = stats.transition_firings
+    assert firings["branch.taken"] > 0
+    assert firings["branch.unstall"] == firings["branch.taken"]
+    assert stats.squashed > 0
+
+
+def test_cache_statistics_reported_by_generated_simulator():
+    workload = get_workload("blowfish", scale=1)
+    processor = build_xscale_processor()
+    processor.load_program(workload.program)
+    processor.run()
+    cache_stats = processor.cache_statistics()
+    assert cache_stats["dcache"].accesses > 0
+    assert 0.5 <= cache_stats["dcache"].hit_rate <= 1.0
+
+
+def test_strongarm_model_has_six_instruction_subnets():
+    processor = build_strongarm_processor()
+    instruction_subnets = [
+        s for s in processor.net.subnets.values() if not s.is_instruction_independent
+    ]
+    assert len(instruction_subnets) == 6  # paper Section 5
+    assert len(processor.net.operation_classes) == 6
+
+
+def test_generation_report_for_models():
+    for builder in (build_example_processor, build_strongarm_processor, build_xscale_processor):
+        processor = builder()
+        report = processor.generation_report
+        assert report.dispatch_entries > 0
+        assert report.generator_transitions
+        assert len(report.place_order) == len(processor.net.places)

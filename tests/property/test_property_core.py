@@ -1,0 +1,72 @@
+"""Property-based tests for core invariants: multisets, the register protocol
+and the cache model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RegRef, RegisterFile
+from repro.cpn import Multiset
+from repro.memory import Cache, CacheConfig
+
+
+@given(st.lists(st.integers(0, 5)))
+@settings(max_examples=150, deadline=None)
+def test_multiset_length_equals_insertions(items):
+    bag = Multiset(items)
+    assert len(bag) == len(items)
+    for item in set(items):
+        assert bag.count(item) == items.count(item)
+
+
+@given(st.lists(st.integers(0, 5), min_size=1))
+@settings(max_examples=150, deadline=None)
+def test_multiset_remove_inverts_add(items):
+    bag = Multiset(items)
+    for item in items:
+        bag.remove(item)
+    assert len(bag) == 0
+
+
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_register_protocol_sequence_preserves_last_writeback(indices):
+    """After any in-order sequence of reserve/writeback pairs, the register
+    holds the last written value and no stale writer remains."""
+    regfile = RegisterFile("gpr", 4)
+    last_value = {}
+    for step, index in enumerate(indices):
+        ref = RegRef(regfile.register(index))
+        if not ref.can_write():
+            continue
+        ref.reserve_write()
+        ref.value = step
+        ref.writeback()
+        last_value[index] = step
+    for index, value in last_value.items():
+        assert regfile.data[index] == value
+    assert all(writer is None for writer in regfile.writers)
+
+
+@given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_cache_statistics_are_consistent(addresses):
+    cache = Cache(CacheConfig(size_bytes=512, line_bytes=32, associativity=2,
+                              hit_latency=1, miss_penalty=10))
+    for address in addresses:
+        latency = cache.access(address)
+        assert latency >= 1
+    stats = cache.stats
+    assert stats.accesses == len(addresses)
+    assert stats.hits + stats.misses == stats.accesses
+    assert 0.0 <= stats.hit_rate <= 1.0
+
+
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_repeated_accesses_to_small_working_set_eventually_hit(addresses):
+    """A working set that fits in the cache cannot miss twice for one line."""
+    cache = Cache(CacheConfig(size_bytes=4096, line_bytes=32, associativity=4))
+    for address in addresses:
+        cache.access(address * 4)
+    distinct_lines = {address * 4 // 32 for address in addresses}
+    assert cache.stats.misses <= len(distinct_lines)

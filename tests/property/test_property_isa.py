@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) for the ISA substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import decode, encode
+from repro.isa.alu import alu_operate, apply_shift
+from repro.isa.flags import to_signed, to_unsigned
+from repro.isa.instructions import (
+    Branch,
+    DataOpcode,
+    DataProcessing,
+    LoadStore,
+    LoadStoreMultiple,
+    Multiply,
+    Operand2,
+    ShiftType,
+)
+
+registers = st.integers(min_value=0, max_value=15)
+words32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+@st.composite
+def data_processing_instructions(draw):
+    if draw(st.booleans()):
+        operand2 = Operand2.from_immediate(draw(st.integers(0, 255)), draw(st.integers(0, 15)))
+    else:
+        operand2 = Operand2.from_register(
+            draw(registers), draw(st.sampled_from(list(ShiftType))), draw(st.integers(0, 31))
+        )
+    return DataProcessing(
+        opcode=draw(st.sampled_from(list(DataOpcode))),
+        rd=draw(registers),
+        rn=draw(registers),
+        operand2=operand2,
+        set_flags=draw(st.booleans()),
+    )
+
+
+@st.composite
+def load_store_instructions(draw):
+    if draw(st.booleans()):
+        return LoadStore(
+            load=draw(st.booleans()), byte=draw(st.booleans()), rd=draw(registers),
+            rn=draw(registers), offset_immediate=draw(st.integers(0, 0xFFF)),
+            pre_index=draw(st.booleans()), up=draw(st.booleans()), writeback=draw(st.booleans()),
+        )
+    return LoadStore(
+        load=draw(st.booleans()), byte=draw(st.booleans()), rd=draw(registers),
+        rn=draw(registers), offset_register=draw(registers), offset_immediate=None,
+        shift_type=draw(st.sampled_from(list(ShiftType))), shift_amount=draw(st.integers(0, 31)),
+        pre_index=draw(st.booleans()), up=draw(st.booleans()), writeback=draw(st.booleans()),
+    )
+
+
+@st.composite
+def any_instruction(draw):
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(data_processing_instructions())
+    if kind == 1:
+        return draw(load_store_instructions())
+    if kind == 2:
+        return Branch(link=draw(st.booleans()), offset=draw(st.integers(-(1 << 23), (1 << 23) - 1)))
+    if kind == 3:
+        return Multiply(rd=draw(registers), rm=draw(registers), rs=draw(registers),
+                        rn=draw(registers), accumulate=draw(st.booleans()),
+                        set_flags=draw(st.booleans()))
+    regs = draw(st.lists(registers, min_size=1, max_size=16, unique=True))
+    return LoadStoreMultiple(load=draw(st.booleans()), rn=draw(registers),
+                             register_list=tuple(sorted(regs)),
+                             writeback=draw(st.booleans()), before=draw(st.booleans()),
+                             up=draw(st.booleans()))
+
+
+@given(any_instruction())
+@settings(max_examples=300, deadline=None)
+def test_encode_decode_roundtrip(instr):
+    """decode(encode(i)) preserves every field of every instruction."""
+    assert decode(encode(instr)) == instr
+
+
+@given(any_instruction())
+@settings(max_examples=150, deadline=None)
+def test_encoding_fits_in_32_bits(instr):
+    assert 0 <= encode(instr) <= 0xFFFFFFFF
+
+
+@given(words32, words32)
+@settings(max_examples=200, deadline=None)
+def test_add_matches_python_arithmetic(a, b):
+    result, n, z, c, v, _ = alu_operate(DataOpcode.ADD, a, b, 0)
+    assert result == (a + b) & 0xFFFFFFFF
+    assert c == ((a + b) > 0xFFFFFFFF)
+    assert z == (result == 0)
+    assert n == bool(result >> 31)
+    assert v == (to_signed(a) + to_signed(b) != to_signed(result))
+
+
+@given(words32, words32)
+@settings(max_examples=200, deadline=None)
+def test_sub_matches_python_arithmetic(a, b):
+    result, _, z, c, _, _ = alu_operate(DataOpcode.SUB, a, b, 0)
+    assert result == (a - b) & 0xFFFFFFFF
+    assert c == (a >= b)  # carry means no borrow
+    assert z == (a == b)
+
+
+@given(words32)
+@settings(max_examples=100, deadline=None)
+def test_signed_unsigned_are_inverse(value):
+    assert to_unsigned(to_signed(value)) == value
+
+
+@given(words32, st.sampled_from(list(ShiftType)), st.integers(0, 31))
+@settings(max_examples=200, deadline=None)
+def test_shift_stays_in_32_bits(value, shift_type, amount):
+    result, carry = apply_shift(value, shift_type, amount, carry_in=False)
+    assert 0 <= result <= 0xFFFFFFFF
+    assert isinstance(carry, bool) or carry in (0, 1)
+
+
+@given(words32, st.integers(0, 31))
+@settings(max_examples=100, deadline=None)
+def test_lsl_then_lsr_masks_low_bits(value, amount):
+    shifted, _ = apply_shift(value, ShiftType.LSL, amount, False)
+    restored, _ = apply_shift(shifted, ShiftType.LSR, amount, False)
+    assert restored == (value << amount & 0xFFFFFFFF) >> amount

@@ -1,0 +1,170 @@
+"""Unit tests for the RCPN register model (RegisterFile / Register / RegRef / Const)."""
+
+import pytest
+
+from repro.core import (
+    Const,
+    HazardProtocolError,
+    InstructionToken,
+    PipelineStage,
+    Place,
+    RegRef,
+    RegisterFile,
+)
+
+
+@pytest.fixture
+def regfile():
+    return RegisterFile("gpr", 4)
+
+
+def test_register_file_initial_state(regfile):
+    assert regfile.data == [0, 0, 0, 0]
+    assert regfile.writers == [None] * 4
+
+
+def test_register_file_rejects_bad_size():
+    with pytest.raises(ValueError):
+        RegisterFile("bad", 0)
+
+
+def test_register_view_reads_and_writes_storage(regfile):
+    reg = regfile.register(2)
+    reg.value = 99
+    assert regfile.data[2] == 99
+    assert reg.value == 99
+
+
+def test_register_index_bounds_checked(regfile):
+    with pytest.raises(ValueError):
+        regfile.register(7)
+
+
+def test_overlapping_registers_share_storage_and_writer(regfile):
+    bank0 = regfile.register(1, name="r1")
+    bank1 = regfile.register(1, name="r1_fiq")
+    assert bank0.overlaps(bank1)
+    ref = RegRef(bank0)
+    ref.reserve_write()
+    other = RegRef(bank1)
+    assert not other.can_read()
+    assert not other.can_write()
+
+
+def test_regref_read_then_writeback_cycle(regfile):
+    reg = regfile.register(0)
+    reg.value = 5
+    producer = RegRef(reg)
+    assert producer.can_read() and producer.can_write()
+    producer.reserve_write()
+    consumer = RegRef(reg)
+    assert not consumer.can_read()
+    producer.value = 42
+    producer.writeback()
+    assert consumer.can_read()
+    assert consumer.read() == 42
+
+
+def test_regref_read_while_write_pending_raises(regfile):
+    reg = regfile.register(0)
+    RegRefA = RegRef(reg)
+    RegRefA.reserve_write()
+    consumer = RegRef(reg)
+    with pytest.raises(HazardProtocolError):
+        consumer.read()
+
+
+def test_regref_double_reserve_raises(regfile):
+    reg = regfile.register(0)
+    first, second = RegRef(reg), RegRef(reg)
+    first.reserve_write()
+    with pytest.raises(HazardProtocolError):
+        second.reserve_write()
+
+
+def test_regref_writeback_without_value_raises(regfile):
+    ref = RegRef(regfile.register(0))
+    ref.reserve_write()
+    with pytest.raises(HazardProtocolError):
+        ref.writeback()
+
+
+def test_regref_release_clears_reservation(regfile):
+    reg = regfile.register(0)
+    ref = RegRef(reg)
+    ref.reserve_write()
+    ref.release()
+    assert reg.writer is None
+    assert RegRef(reg).can_write()
+
+
+def _place(name="L3"):
+    stage = PipelineStage(name, capacity=4)
+    return Place(name, stage)
+
+
+def test_regref_forwarding_via_state(regfile):
+    """canRead(s)/read(s): forward the writer's internal value while it is in state s."""
+    reg = regfile.register(0)
+    reg.value = 1
+    producer = RegRef(reg)
+    producer.reserve_write()
+    producer.value = 123
+    token = InstructionToken(instr=None, opclass="alu", operands={"d": producer})
+    producer.token = token
+    place = _place("L3")
+    place.deposit(token, ready_cycle=0)
+
+    consumer = RegRef(reg)
+    assert not consumer.can_read()
+    assert consumer.can_read("L3")
+    assert consumer.read("L3") == 123
+    # Forwarding by stage name and by place object both work.
+    assert consumer.can_read(place)
+
+
+def test_regref_forwarding_wrong_state_raises(regfile):
+    reg = regfile.register(0)
+    producer = RegRef(reg)
+    producer.reserve_write()
+    token = InstructionToken(instr=None, opclass="alu", operands={"d": producer})
+    producer.token = token
+    place = _place("L2")
+    place.deposit(token, ready_cycle=0)
+    consumer = RegRef(reg)
+    assert not consumer.can_read("L3")
+    with pytest.raises(HazardProtocolError):
+        consumer.read("L3")
+
+
+def test_const_implements_the_full_interface():
+    const = Const(7)
+    assert const.can_read()
+    assert not const.can_read("L3")
+    assert const.read() == 7
+    assert const.can_write()
+    const.reserve_write()   # no-ops
+    const.writeback()
+    assert const.value == 7
+    assert const.has_value
+
+
+def test_token_symbol_attribute_access_and_release():
+    regfile = RegisterFile("gpr", 2)
+    d = RegRef(regfile.register(0))
+    token = InstructionToken(instr=None, opclass="alu", operands={"d": d, "imm": Const(3)})
+    d.token = token
+    assert token.d is d
+    assert token.imm.value == 3
+    with pytest.raises(AttributeError):
+        token.unknown_symbol
+    d.reserve_write()
+    token.release_reservations()
+    assert regfile.writers[0] is None
+
+
+def test_token_register_operands_flattens_lists():
+    regfile = RegisterFile("gpr", 4)
+    regs = [RegRef(regfile.register(i)) for i in range(3)]
+    token = InstructionToken(instr=None, opclass="memm", operands={"regs": regs, "n": 3})
+    assert len(token.register_operands()) == 3

@@ -1,0 +1,198 @@
+"""Unit tests for the Colored Petri Net substrate and the RCPN conversion."""
+
+import pytest
+
+from repro.cpn import (
+    CPN,
+    CPNSimulator,
+    InputPattern,
+    Multiset,
+    OutputProduction,
+    ReachabilityGraph,
+    analyze_boundedness,
+    find_deadlocks,
+    rcpn_to_cpn,
+)
+
+
+# -- multisets --------------------------------------------------------------------
+
+def test_multiset_add_remove_count():
+    bag = Multiset(["a", "a", "b"])
+    assert bag.count("a") == 2
+    bag.remove("a")
+    assert bag.count("a") == 1
+    assert len(bag) == 2
+    assert "b" in bag
+
+
+def test_multiset_remove_more_than_present_raises():
+    bag = Multiset(["a"])
+    with pytest.raises(KeyError):
+        bag.remove("a", 2)
+
+
+def test_multiset_equality_and_copy():
+    bag = Multiset([1, 2, 2])
+    clone = bag.copy()
+    assert bag == clone
+    clone.add(3)
+    assert bag != clone
+    assert bag.frozen() == Multiset([2, 1, 2]).frozen()
+
+
+# -- occurrence rule ----------------------------------------------------------------
+
+def producer_consumer_net():
+    net = CPN("pc")
+    net.add_place("free", initial=[InputPattern.BLACK] * 2)
+    net.add_place("items")
+    net.add_place("done")
+    net.add_transition(
+        "produce",
+        inputs=[InputPattern("free")],
+        outputs=[OutputProduction("items", expression=lambda b: "item")],
+    )
+    net.add_transition(
+        "consume",
+        inputs=[InputPattern("items", variable="x")],
+        outputs=[OutputProduction("done", expression=lambda b: b["x"]),
+                 OutputProduction("free")],
+    )
+    return net
+
+
+def test_enabled_transitions_and_firing():
+    net = producer_consumer_net()
+    assert [t.name for t in net.enabled_transitions()] == ["produce"]
+    net.fire(net.transitions[0])
+    assert net.place("items").marking.count("item") == 1
+    assert net.is_enabled(net.transitions[1])
+    net.fire(net.transitions[1])
+    assert net.place("done").marking.count("item") == 1
+    assert net.place("free").marking.count(InputPattern.BLACK) == 2
+
+
+def test_guard_constrains_bindings():
+    net = CPN("guarded")
+    net.add_place("in", initial=[1, 2, 3])
+    net.add_place("out")
+    net.add_transition(
+        "pick_even",
+        inputs=[InputPattern("in", variable="x")],
+        outputs=[OutputProduction("out", expression=lambda b: b["x"])],
+        guard=lambda b: b["x"] % 2 == 0,
+    )
+    bindings = net.bindings(net.transitions[0])
+    assert [b["x"] for b in bindings] == [2]
+
+
+def test_variable_consistency_across_arcs():
+    net = CPN("match")
+    net.add_place("a", initial=["x", "y"])
+    net.add_place("b", initial=["y"])
+    net.add_place("out")
+    net.add_transition(
+        "join",
+        inputs=[InputPattern("a", variable="v"), InputPattern("b", variable="v")],
+        outputs=[OutputProduction("out", expression=lambda b: b["v"])],
+    )
+    bindings = net.bindings(net.transitions[0])
+    assert [b["v"] for b in bindings] == ["y"]
+
+
+def test_fire_disabled_transition_raises():
+    net = producer_consumer_net()
+    with pytest.raises(ValueError):
+        net.fire(net.transitions[1])  # nothing to consume yet
+
+
+def test_simulator_runs_to_quiescence():
+    net = CPN("finite")
+    net.add_place("src", initial=[InputPattern.BLACK] * 3)
+    net.add_place("dst")
+    net.add_transition("move", inputs=[InputPattern("src")], outputs=[OutputProduction("dst")])
+    sim = CPNSimulator(net)
+    steps = sim.run(max_steps=100)
+    assert steps == 3
+    assert len(net.place("dst").marking) == 3
+
+
+# -- analysis -------------------------------------------------------------------------
+
+def bounded_pipeline_net():
+    net = CPN("fig2")
+    net.add_place("L1_free", initial=[InputPattern.BLACK])
+    net.add_place("L1_full")
+    net.add_place("L2_free", initial=[InputPattern.BLACK])
+    net.add_place("L2_full")
+    net.add_transition("U1", inputs=[InputPattern("L1_free")], outputs=[OutputProduction("L1_full")])
+    net.add_transition("U2", inputs=[InputPattern("L1_full"), InputPattern("L2_free")],
+                       outputs=[OutputProduction("L1_free"), OutputProduction("L2_full")])
+    net.add_transition("U3", inputs=[InputPattern("L2_full")], outputs=[OutputProduction("L2_free")])
+    return net
+
+
+def test_reachability_graph_of_bounded_net():
+    graph = ReachabilityGraph(bounded_pipeline_net(), max_markings=100)
+    assert not graph.truncated
+    assert 2 <= graph.marking_count() <= 8
+    assert graph.dead_transitions() == []
+
+
+def test_boundedness_analysis():
+    bounded, bounds = analyze_boundedness(bounded_pipeline_net(), max_markings=100)
+    assert bounded
+    assert all(bound <= 1 for bound in bounds.values())
+
+
+def test_deadlock_detection_on_sink_net():
+    net = CPN("deadlock")
+    net.add_place("p", initial=[InputPattern.BLACK])
+    net.add_place("q")
+    net.add_transition("t", inputs=[InputPattern("p")], outputs=[OutputProduction("q")])
+    deadlocks = find_deadlocks(net, max_markings=10)
+    assert len(deadlocks) == 1  # the marking with the token in q is dead
+
+
+def test_deadlock_free_cycle_net():
+    net = CPN("cycle")
+    net.add_place("p", initial=[InputPattern.BLACK])
+    net.add_place("q")
+    net.add_transition("pq", inputs=[InputPattern("p")], outputs=[OutputProduction("q")])
+    net.add_transition("qp", inputs=[InputPattern("q")], outputs=[OutputProduction("p")])
+    assert find_deadlocks(net, max_markings=10) == []
+
+
+# -- RCPN -> CPN conversion --------------------------------------------------------------
+
+def test_conversion_adds_complement_places_for_finite_stages():
+    from repro.processors import build_example_processor
+
+    processor = build_example_processor()
+    cpn = rcpn_to_cpn(processor.net)
+    free_places = [name for name in cpn.places if name.startswith("free[")]
+    finite_stages = [s for s in processor.net.stages.values() if not s.unlimited]
+    assert len(free_places) == len(finite_stages)
+    # Complement places start full (all slots free).
+    for name in free_places:
+        assert len(cpn.place(name).marking) >= 1
+
+
+def test_conversion_blows_up_arc_count():
+    from repro.processors import build_example_processor, build_strongarm_processor
+
+    for builder in (build_example_processor, build_strongarm_processor):
+        processor = builder()
+        rcpn_size = processor.net.complexity()
+        cpn_size = rcpn_to_cpn(processor.net).complexity()
+        assert cpn_size["places"] > rcpn_size["places"]
+        assert cpn_size["arcs"] > rcpn_size["arcs"]
+
+
+def test_converted_net_transitions_match_rcpn():
+    from repro.processors import build_example_processor
+
+    processor = build_example_processor()
+    cpn = rcpn_to_cpn(processor.net)
+    assert len(cpn.transitions) == len(processor.net.transitions)

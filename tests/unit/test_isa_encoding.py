@@ -1,0 +1,140 @@
+"""Unit tests for the binary encoding/decoding of the instruction set."""
+
+import pytest
+
+from repro.isa import (
+    Branch,
+    Condition,
+    DataOpcode,
+    DataProcessing,
+    DecodeError,
+    LoadStore,
+    LoadStoreMultiple,
+    Multiply,
+    ShiftType,
+    System,
+    SystemOp,
+    decode,
+    encode,
+)
+from repro.isa.instructions import Operand2
+
+
+def roundtrip(instr):
+    return decode(encode(instr))
+
+
+@pytest.mark.parametrize("opcode", list(DataOpcode))
+def test_data_processing_roundtrip_every_opcode(opcode):
+    instr = DataProcessing(opcode=opcode, rd=1, rn=2,
+                           operand2=Operand2.from_register(3), set_flags=True)
+    assert roundtrip(instr) == instr
+
+
+@pytest.mark.parametrize("imm,rot", [(0, 0), (1, 0), (255, 0), (0xFF, 4), (0x80, 12)])
+def test_data_processing_immediate_roundtrip(imm, rot):
+    instr = DataProcessing(opcode=DataOpcode.MOV, rd=5,
+                           operand2=Operand2.from_immediate(imm, rot))
+    assert roundtrip(instr) == instr
+
+
+@pytest.mark.parametrize("shift_type", list(ShiftType))
+@pytest.mark.parametrize("amount", [0, 1, 15, 31])
+def test_shifted_register_operand_roundtrip(shift_type, amount):
+    instr = DataProcessing(
+        opcode=DataOpcode.ADD, rd=0, rn=1,
+        operand2=Operand2.from_register(2, shift_type, amount),
+    )
+    decoded = roundtrip(instr)
+    assert decoded.operand2.shift_type == shift_type
+    assert decoded.operand2.shift_amount == amount
+
+
+@pytest.mark.parametrize("cond", list(Condition))
+def test_condition_field_roundtrip(cond):
+    instr = DataProcessing(cond=cond, opcode=DataOpcode.ADD, rd=0, rn=0,
+                           operand2=Operand2.from_immediate(1))
+    assert roundtrip(instr).cond == cond
+
+
+@pytest.mark.parametrize("load,byte,pre,up,writeback", [
+    (True, False, True, True, False),
+    (False, False, True, True, False),
+    (True, True, True, False, False),
+    (False, True, False, True, False),
+    (True, False, True, True, True),
+])
+def test_load_store_flag_combinations(load, byte, pre, up, writeback):
+    instr = LoadStore(load=load, byte=byte, rd=3, rn=4, offset_immediate=20,
+                      pre_index=pre, up=up, writeback=writeback)
+    assert roundtrip(instr) == instr
+
+
+def test_load_store_register_offset_roundtrip():
+    instr = LoadStore(load=True, rd=1, rn=2, offset_register=3,
+                      shift_type=ShiftType.LSL, shift_amount=2, offset_immediate=None)
+    decoded = roundtrip(instr)
+    assert decoded.has_register_offset
+    assert decoded.offset_register == 3
+    assert decoded.shift_amount == 2
+
+
+@pytest.mark.parametrize("registers", [(0,), (0, 1, 2), (4, 5, 6, 14), tuple(range(16))])
+def test_load_store_multiple_register_lists(registers):
+    instr = LoadStoreMultiple(load=True, rn=13, register_list=registers, writeback=True)
+    assert roundtrip(instr).register_list == tuple(sorted(registers))
+
+
+def test_load_store_multiple_empty_list_rejected():
+    with pytest.raises(Exception):
+        encode(LoadStoreMultiple(load=True, rn=0, register_list=()))
+
+
+@pytest.mark.parametrize("offset", [0, 1, -1, 100, -100, (1 << 23) - 1, -(1 << 23)])
+def test_branch_offset_roundtrip(offset):
+    instr = Branch(link=False, offset=offset)
+    assert roundtrip(instr).offset == offset
+
+
+def test_branch_link_bit():
+    assert roundtrip(Branch(link=True, offset=4)).link is True
+    assert roundtrip(Branch(link=False, offset=4)).link is False
+
+
+def test_branch_target_uses_pipeline_offset():
+    # target = address + 8 + 4*offset, matching the ARM convention.
+    assert Branch(offset=0).target(0x100) == 0x108
+    assert Branch(offset=-2).target(0x100) == 0x100
+
+
+@pytest.mark.parametrize("accumulate", [False, True])
+def test_multiply_roundtrip(accumulate):
+    instr = Multiply(rd=1, rm=2, rs=3, rn=4, accumulate=accumulate, set_flags=True)
+    assert roundtrip(instr) == instr
+
+
+@pytest.mark.parametrize("op", list(SystemOp))
+def test_system_roundtrip(op):
+    instr = System(op=op, imm=42)
+    assert roundtrip(instr) == instr
+
+
+def test_decode_rejects_reserved_condition():
+    with pytest.raises(DecodeError):
+        decode(0xF0000000)
+
+
+def test_decode_rejects_out_of_range_word():
+    with pytest.raises(DecodeError):
+        decode(1 << 32)
+
+
+def test_every_encoded_word_fits_32_bits():
+    instr = LoadStore(load=True, rd=15, rn=15, offset_immediate=0xFFF)
+    word = encode(instr)
+    assert 0 <= word <= 0xFFFFFFFF
+
+
+def test_operand2_immediate_value_rotation():
+    op2 = Operand2.from_immediate(0xFF, 4)  # 0xFF ror 8
+    assert op2.immediate_value == 0xFF000000

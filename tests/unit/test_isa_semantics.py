@@ -1,0 +1,223 @@
+"""Unit tests for the functional execution semantics and ALU helpers."""
+
+import pytest
+
+from repro.isa import CPUState, ConditionFlags, Condition, assemble, decode, execute
+from repro.isa.alu import alu_operate, apply_shift, multiply, multiply_early_termination_cycles
+from repro.isa.conditions import condition_passes
+from repro.isa.flags import to_signed, to_unsigned
+from repro.isa.instructions import DataOpcode, ShiftType
+from repro.memory import MainMemory
+
+
+def run_fragment(source, regs=None, max_steps=10_000):
+    program = assemble(source)
+    memory = MainMemory()
+    memory.load_program(program)
+    state = CPUState()
+    state.pc = program.entry
+    for index, value in (regs or {}).items():
+        state.regs[index] = value
+    steps = 0
+    while not state.halted and steps < max_steps:
+        execute(decode(memory.read_word(state.pc)), state, memory, address=state.pc)
+        steps += 1
+    return state, memory
+
+
+# -- ALU helper functions -----------------------------------------------------
+
+@pytest.mark.parametrize("a,b,expected", [(1, 2, 3), (0xFFFFFFFF, 1, 0), (2**31 - 1, 1, 2**31)])
+def test_alu_add_results(a, b, expected):
+    result, n, z, c, v, writes = alu_operate(DataOpcode.ADD, a, b, 0)
+    assert result == expected
+    assert writes
+
+
+def test_alu_add_carry_and_overflow_flags():
+    _, _, _, c, v, _ = alu_operate(DataOpcode.ADD, 0xFFFFFFFF, 1, 0)
+    assert c and not v
+    _, _, _, c, v, _ = alu_operate(DataOpcode.ADD, 0x7FFFFFFF, 1, 0)
+    assert not c and v
+
+
+def test_alu_sub_borrow_convention():
+    # ARM convention: C set means no borrow.
+    _, _, _, c, _, _ = alu_operate(DataOpcode.SUB, 5, 3, 0)
+    assert c
+    _, _, _, c, _, _ = alu_operate(DataOpcode.SUB, 3, 5, 0)
+    assert not c
+
+
+@pytest.mark.parametrize("opcode", [DataOpcode.TST, DataOpcode.TEQ, DataOpcode.CMP, DataOpcode.CMN])
+def test_compare_opcodes_produce_no_result(opcode):
+    result, *_rest, writes = alu_operate(opcode, 1, 2, 0)
+    assert result is None or not writes
+
+
+def test_alu_mov_and_mvn():
+    assert alu_operate(DataOpcode.MOV, 0, 42, 0)[0] == 42
+    assert alu_operate(DataOpcode.MVN, 0, 0, 0)[0] == 0xFFFFFFFF
+
+
+@pytest.mark.parametrize("value,shift_type,amount,expected", [
+    (1, ShiftType.LSL, 4, 16),
+    (0x80000000, ShiftType.LSR, 31, 1),
+    (0x80000000, ShiftType.ASR, 31, 0xFFFFFFFF),
+    (0x1, ShiftType.ROR, 1, 0x80000000),
+    (0xFF, ShiftType.LSL, 0, 0xFF),
+])
+def test_apply_shift(value, shift_type, amount, expected):
+    result, _ = apply_shift(value, shift_type, amount, carry_in=False)
+    assert result == expected
+
+
+def test_multiply_truncates_to_32_bits():
+    assert multiply(0x10000, 0x10000) == 0
+    assert multiply(3, 4, 5) == 17
+
+
+@pytest.mark.parametrize("value,cycles", [(0, 1), (0xFF, 1), (0xFFFF, 2), (0xFFFFFF, 3), (0xFFFFFFFF, 1), (0x12345678, 4)])
+def test_multiply_early_termination(value, cycles):
+    assert multiply_early_termination_cycles(value) == cycles
+
+
+def test_signed_unsigned_conversions():
+    assert to_signed(0xFFFFFFFF) == -1
+    assert to_unsigned(-1) == 0xFFFFFFFF
+    assert to_signed(5) == 5
+
+
+# -- condition codes -----------------------------------------------------------
+
+@pytest.mark.parametrize("cond,flags,expected", [
+    (Condition.EQ, dict(z=True), True),
+    (Condition.NE, dict(z=True), False),
+    (Condition.GE, dict(n=True, v=True), True),
+    (Condition.LT, dict(n=True, v=False), True),
+    (Condition.GT, dict(z=False, n=False, v=False), True),
+    (Condition.LE, dict(z=True), True),
+    (Condition.HI, dict(c=True, z=False), True),
+    (Condition.LS, dict(c=False), True),
+    (Condition.AL, dict(), True),
+])
+def test_condition_passes(cond, flags, expected):
+    assert condition_passes(cond, ConditionFlags(**flags)) is expected
+
+
+# -- instruction execution ------------------------------------------------------
+
+def test_arithmetic_program_result():
+    state, _ = run_fragment("""
+    main:
+        mov r0, #0
+        mov r1, #10
+    loop:
+        add r0, r0, r1
+        subs r1, r1, #1
+        bne loop
+        halt
+    """)
+    assert state.regs[0] == 55
+    assert state.regs[1] == 0
+
+
+def test_conditional_execution_skips_failed_instructions():
+    state, _ = run_fragment("""
+    main:
+        mov r0, #1
+        cmp r0, #2
+        moveq r1, #10
+        movne r1, #20
+        halt
+    """)
+    assert state.regs[1] == 20
+
+
+def test_memory_load_store_word_and_byte():
+    state, memory = run_fragment("""
+    main:
+        mov r0, #0xAB
+        mov r1, #0x8000
+        str r0, [r1, #4]
+        ldr r2, [r1, #4]
+        strb r0, [r1, #9]
+        ldrb r3, [r1, #9]
+        halt
+    """)
+    assert state.regs[2] == 0xAB
+    assert state.regs[3] == 0xAB
+    assert memory.read_word(0x8004) == 0xAB
+
+
+def test_post_index_updates_base_register():
+    state, _ = run_fragment("""
+    main:
+        mov r1, #0x8000
+        mov r0, #7
+        str r0, [r1], #4
+        halt
+    """)
+    assert state.regs[1] == 0x8004
+
+
+def test_block_transfer_round_trip_preserves_registers():
+    state, _ = run_fragment("""
+    main:
+        mov sp, #0x8000
+        mov r4, #11
+        mov r5, #22
+        mov r6, #33
+        stmdb sp!, {r4-r6}
+        mov r4, #0
+        mov r5, #0
+        mov r6, #0
+        ldmia sp!, {r4-r6}
+        halt
+    """)
+    assert (state.regs[4], state.regs[5], state.regs[6]) == (11, 22, 33)
+    assert state.regs[13] == 0x8000
+
+
+def test_branch_with_link_sets_lr_and_returns():
+    state, _ = run_fragment("""
+    main:
+        mov r0, #1
+        bl func
+        add r0, r0, #100
+        halt
+    func:
+        add r0, r0, #10
+        mov pc, lr
+    """)
+    assert state.regs[0] == 111
+
+
+def test_multiply_and_accumulate_instructions():
+    state, _ = run_fragment("""
+    main:
+        mov r1, #6
+        mov r2, #7
+        mul r0, r1, r2
+        mla r3, r1, r2, r0
+        halt
+    """)
+    assert state.regs[0] == 42
+    assert state.regs[3] == 84
+
+
+def test_halt_sets_halted_flag():
+    state, _ = run_fragment("main: halt")
+    assert state.halted
+
+
+def test_flags_carry_used_by_adc():
+    state, _ = run_fragment("""
+    main:
+        mvn r1, #0
+        adds r0, r1, #1    ; produces carry
+        mov r2, #0
+        adc r2, r2, #0     ; r2 = 0 + 0 + carry
+        halt
+    """)
+    assert state.regs[2] == 1

@@ -1,0 +1,189 @@
+"""Unit tests for the memory substrate: memory, caches, predictors."""
+
+import pytest
+
+from repro.memory import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    Cache,
+    CacheConfig,
+    MainMemory,
+    MemorySystem,
+    MemorySystemConfig,
+    StaticNotTakenPredictor,
+    StaticTakenPredictor,
+)
+
+
+# -- main memory ---------------------------------------------------------------
+
+def test_memory_word_read_write_roundtrip():
+    memory = MainMemory()
+    memory.write_word(0x100, 0xDEADBEEF)
+    assert memory.read_word(0x100) == 0xDEADBEEF
+
+
+def test_memory_unwritten_locations_return_default():
+    memory = MainMemory(default_value=0)
+    assert memory.read_word(0x5000) == 0
+
+
+def test_memory_byte_access_is_little_endian():
+    memory = MainMemory()
+    memory.write_word(0x200, 0x11223344)
+    assert memory.read_byte(0x200) == 0x44
+    assert memory.read_byte(0x203) == 0x11
+    memory.write_byte(0x201, 0xAA)
+    assert memory.read_word(0x200) == 0x1122AA44
+
+
+def test_memory_alignment_is_forced():
+    memory = MainMemory()
+    memory.write_word(0x103, 7)
+    assert memory.read_word(0x100) == 7
+
+
+def test_memory_counts_accesses():
+    memory = MainMemory()
+    memory.write_word(0, 1)
+    memory.read_word(0)
+    memory.read_word(4)
+    assert memory.write_count == 1
+    assert memory.read_count == 2
+
+
+# -- cache ----------------------------------------------------------------------
+
+def test_cache_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(line_bytes=24)
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, line_bytes=32, associativity=4)
+
+
+def test_cache_miss_then_hit():
+    cache = Cache(CacheConfig(size_bytes=1024, line_bytes=32, associativity=2,
+                              hit_latency=1, miss_penalty=10))
+    first = cache.access(0x40)
+    second = cache.access(0x44)  # same line
+    assert first == 11
+    assert second == 1
+    assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
+def test_cache_lru_eviction_within_a_set():
+    config = CacheConfig(size_bytes=128, line_bytes=32, associativity=2, hit_latency=1, miss_penalty=5)
+    cache = Cache(config)
+    num_sets = config.num_sets
+    stride = 32 * num_sets  # same set, different tags
+    cache.access(0)
+    cache.access(stride)
+    cache.access(0)              # touch to make address 0 most recently used
+    cache.access(2 * stride)     # evicts `stride`
+    assert cache.contains(0)
+    assert not cache.contains(stride)
+    assert cache.stats.evictions == 1
+
+
+def test_cache_writeback_counted_for_dirty_victims():
+    config = CacheConfig(size_bytes=64, line_bytes=32, associativity=1, hit_latency=1, miss_penalty=5)
+    cache = Cache(config)
+    stride = 32 * config.num_sets
+    cache.access(0, is_write=True)
+    cache.access(stride)  # evicts the dirty line
+    assert cache.stats.writebacks == 1
+
+
+def test_cache_hit_rate_property():
+    cache = Cache(CacheConfig(size_bytes=1024, line_bytes=32, associativity=2))
+    assert cache.stats.hit_rate == 0.0
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.hit_rate == 0.5
+
+
+# -- memory system -----------------------------------------------------------------
+
+def test_memory_system_functional_interface():
+    system = MemorySystem()
+    system.write_word(0x300, 99)
+    assert system.read_word(0x300) == 99
+
+
+def test_memory_system_latencies_hit_vs_miss():
+    system = MemorySystem(MemorySystemConfig(memory_latency=20))
+    miss = system.data_delay(0x1000)
+    hit = system.data_delay(0x1000)
+    assert miss > hit
+    assert hit == system.config.dcache.hit_latency
+
+
+def test_memory_system_perfect_cache_mode():
+    system = MemorySystem(MemorySystemConfig(perfect_caches=True))
+    assert system.data_delay(0x4000) == system.config.dcache.hit_latency
+    assert system.instruction_delay(0x4000) == system.config.icache.hit_latency
+
+
+def test_memory_system_statistics_structure():
+    system = MemorySystem()
+    system.instruction_delay(0)
+    system.data_delay(0, is_write=True)
+    stats = system.statistics()
+    assert stats["icache"].accesses == 1
+    assert stats["dcache"].accesses == 1
+
+
+# -- branch predictors -----------------------------------------------------------
+
+def test_static_predictors():
+    not_taken = StaticNotTakenPredictor()
+    taken = StaticTakenPredictor()
+    assert not_taken.predict(0) is False
+    assert taken.predict(0) is True
+    assert not_taken.record(0x10, True) is False  # mispredicted
+    assert not_taken.mispredictions == 1
+
+
+def test_bimodal_predictor_learns_direction():
+    predictor = BimodalPredictor(entries=16, initial=1)
+    address = 0x40
+    assert predictor.predict(address) is False
+    predictor.update(address, True)
+    predictor.update(address, True)
+    assert predictor.predict(address) is True
+    predictor.update(address, False)
+    predictor.update(address, False)
+    assert predictor.predict(address) is False
+
+
+def test_bimodal_predictor_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        BimodalPredictor(entries=10)
+
+
+def test_btb_miss_then_learn_target():
+    btb = BranchTargetBuffer(entries=8)
+    hit, taken, target = btb.lookup(0x100)
+    assert not hit
+    btb.update(0x100, True, 0x200)
+    hit, taken, target = btb.lookup(0x100)
+    assert hit and taken and target == 0x200
+
+
+def test_btb_counter_hysteresis():
+    btb = BranchTargetBuffer(entries=8, initial_counter=2)
+    btb.update(0x80, True, 0x300)
+    btb.update(0x80, False, 0x300)
+    hit, taken, _ = btb.lookup(0x80)
+    assert hit and taken  # one not-taken does not flip a strongly-taken entry
+    btb.update(0x80, False, 0x300)
+    btb.update(0x80, False, 0x300)
+    assert btb.lookup(0x80)[1] is False
+
+
+def test_btb_capacity_replacement():
+    btb = BranchTargetBuffer(entries=2)
+    btb.update(0x10, True, 0x100)
+    btb.update(0x20, True, 0x200)
+    btb.update(0x30, True, 0x300)
+    assert len(btb.entries) == 2

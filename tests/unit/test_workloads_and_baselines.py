@@ -1,0 +1,140 @@
+"""Unit tests for the workload kernels, the generator and the baseline simulators."""
+
+import pytest
+
+from repro.baseline import (
+    FunctionalSimulator,
+    InOrderPipelineSimulator,
+    SimpleScalarLikeSimulator,
+)
+from repro.workloads import (
+    SyntheticWorkloadGenerator,
+    all_workloads,
+    get_workload,
+    kernel_source,
+    workload_names,
+)
+from repro.workloads.kernels import load_const
+from repro.isa import assemble, CPUState, decode, execute
+from repro.memory import MainMemory
+
+KERNELS = workload_names()
+
+
+def test_workload_names_match_the_paper():
+    assert KERNELS == ("adpcm", "blowfish", "compress", "crc", "g721", "go")
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_kernels_assemble(name):
+    workload = get_workload(name, scale=1)
+    assert len(workload.program.words) > 10
+    assert workload.suite in ("MiBench", "MediaBench", "SPEC95")
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_kernels_run_and_halt_on_functional_simulator(name):
+    workload = get_workload(name, scale=1)
+    simulator = FunctionalSimulator()
+    simulator.load_program(workload.program)
+    stats = simulator.run(max_instructions=2_000_000)
+    assert stats.halted
+    assert stats.instructions > 1000
+    assert simulator.register(0) != 0  # every kernel leaves a checksum in r0
+    assert stats.syscalls >= 1
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_kernels_scale_with_the_scale_parameter(name):
+    small = FunctionalSimulator()
+    small.load_program(get_workload(name, scale=1).program)
+    big = FunctionalSimulator()
+    big.load_program(get_workload(name, scale=2).program)
+    assert big.run().instructions > small.run().instructions
+
+
+def test_unknown_kernel_name_raises():
+    with pytest.raises(KeyError):
+        kernel_source("dhrystone")
+
+
+def test_load_const_builds_arbitrary_constants():
+    for value in (0, 1, 0xEDB88320, 0xFFFFFFFF, 0x12345678):
+        source = "main:\n%s\n    halt\n" % load_const("r0", value)
+        program = assemble(source)
+        memory = MainMemory()
+        memory.load_program(program)
+        state = CPUState()
+        while not state.halted:
+            execute(decode(memory.read_word(state.pc)), state, memory, address=state.pc)
+        assert state.regs[0] == value
+
+
+def test_synthetic_generator_respects_mix_and_terminates():
+    generator = SyntheticWorkloadGenerator(
+        mix={"alu": 8, "load": 1, "store": 1}, body_length=16, iterations=8, seed=3
+    )
+    simulator = FunctionalSimulator()
+    simulator.load_program(generator.program())
+    stats = simulator.run(max_instructions=100_000)
+    assert stats.halted
+    assert stats.executed_by_class["alu"] > stats.executed_by_class.get("mem", 0)
+
+
+def test_synthetic_generator_rejects_unknown_categories():
+    with pytest.raises(ValueError):
+        SyntheticWorkloadGenerator(mix={"vector": 1})
+
+
+def test_synthetic_generator_is_deterministic_per_seed():
+    a = SyntheticWorkloadGenerator(seed=7).source()
+    b = SyntheticWorkloadGenerator(seed=7).source()
+    c = SyntheticWorkloadGenerator(seed=8).source()
+    assert a == b
+    assert a != c
+
+
+# -- baselines ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("simulator_class", [SimpleScalarLikeSimulator, InOrderPipelineSimulator])
+@pytest.mark.parametrize("name", ["crc", "adpcm"])
+def test_cycle_accurate_baselines_match_functional_state(simulator_class, name):
+    workload = get_workload(name, scale=1)
+    functional = FunctionalSimulator()
+    functional.load_program(workload.program)
+    fstats = functional.run()
+
+    baseline = simulator_class()
+    baseline.load_program(workload.program)
+    bstats = baseline.run()
+
+    assert bstats.finish_reason == "halt"
+    assert baseline.register(0) == functional.register(0)
+    assert bstats.cycles >= bstats.instructions  # CPI >= 1 for single-issue machines
+
+
+@pytest.mark.parametrize("simulator_class", [SimpleScalarLikeSimulator, InOrderPipelineSimulator])
+def test_baseline_cpi_in_plausible_band(simulator_class):
+    workload = get_workload("go", scale=1)
+    baseline = simulator_class()
+    baseline.load_program(workload.program)
+    stats = baseline.run()
+    assert 1.0 <= stats.cpi <= 4.0
+
+
+def test_functional_simulator_decode_cache_effectiveness():
+    workload = get_workload("crc", scale=1)
+    simulator = FunctionalSimulator()
+    simulator.load_program(workload.program)
+    simulator.run()
+    assert len(simulator._decode_cache) < simulator.stats.instructions / 10
+
+
+def test_simplescalar_reports_cache_statistics():
+    workload = get_workload("blowfish", scale=1)
+    baseline = SimpleScalarLikeSimulator()
+    baseline.load_program(workload.program)
+    baseline.run()
+    stats = baseline.cache_statistics()
+    assert stats["dcache"].accesses > 0
+    assert stats["icache"].accesses > 0
