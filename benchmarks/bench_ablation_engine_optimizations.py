@@ -24,6 +24,11 @@ CONFIGURATIONS = {
     ),
     "two-list-everywhere": dict(engine_options=EngineOptions(two_list_everywhere=True)),
     "no-decode-cache": dict(engine_options=EngineOptions(), use_decode_cache=False),
+    # The generated-simulator fast path: on top of the interpreted engine's
+    # optimisations, the model is partially evaluated into flat closures
+    # (repro.compiled).  The equality assertion below doubles as a
+    # differential check of the two backends.
+    "compiled-backend": dict(engine_options=EngineOptions(backend="compiled")),
 }
 
 _reference = {}

@@ -1,17 +1,53 @@
-"""Setuptools shim.
+"""Packaging configuration.
 
-The canonical build configuration lives in ``pyproject.toml``; this file
-exists so that legacy editable installs (``pip install -e . --no-use-pep517``
-or ``python setup.py develop``) work on machines without the ``wheel``
-package or network access.
+The package is pure Python with no runtime dependencies; ``pip install -e .``
+installs the ``repro`` package from ``src/``.  On machines without the
+``wheel`` package or network access, use the legacy path instead:
+``python setup.py develop --user``.  Test/benchmark extras
+(``pytest``, ``pytest-benchmark``, ``hypothesis``) are declared under the
+``test`` extra but the suites can equally be run straight from a checkout
+with ``PYTHONPATH=src`` (see README.md).
 """
+
+import os
 
 from setuptools import find_packages, setup
 
+
+def _long_description():
+    readme = os.path.join(os.path.dirname(os.path.abspath(__file__)), "README.md")
+    try:
+        with open(readme, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:
+        return ""
+
+
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Generic Pipelined Processor Modeling and High "
+        "Performance Cycle-Accurate Simulator Generation' (Reshadi & Dutt, "
+        "DATE 2005): RCPN processor models and generated cycle-accurate "
+        "simulators"
+    ),
+    long_description=_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Emulators",
+        "Topic :: Scientific/Engineering",
+    ],
+    keywords="petri-net processor-modeling cycle-accurate-simulation simulator-generation",
 )

@@ -91,8 +91,16 @@ def run_inorder(workload, config=None, max_cycles=None):
     return _timed_run(simulator, workload, "inorder-baseline", max_cycles)
 
 
-def run_processor(builder, workload, label=None, max_cycles=None, **builder_kwargs):
-    """Run a workload on an RCPN model built by ``builder``."""
+def run_processor(builder, workload, label=None, max_cycles=None, backend=None, **builder_kwargs):
+    """Run a workload on an RCPN model built by ``builder``.
+
+    ``backend`` selects the engine backend (``"interpreted"`` or
+    ``"compiled"``) and is forwarded to the builder; the benchmark harness
+    uses it to measure the interpreted-vs-generated gap of the paper's
+    Figure 10 without duplicating builder plumbing.
+    """
+    if backend is not None:
+        builder_kwargs["backend"] = backend
     processor = builder(**builder_kwargs)
     processor.load_program(workload.program)
     start = time.perf_counter()

@@ -1,0 +1,152 @@
+"""The compiled cycle-accurate engine.
+
+:class:`CompiledEngine` is the run-time half of the paper's simulator
+generation: :mod:`repro.compiled.plan` partially evaluates the model into
+flat closures once, and this engine merely drives them cycle by cycle.  It
+is drop-in API-compatible with :class:`repro.core.engine.SimulationEngine`
+(``run`` / ``step`` / ``reset`` / ``stats`` and all the
+:class:`~repro.core.engine.EngineContext` services — ``emit``,
+``flush_stage``, ``stop``), and is required to produce *bit-identical*
+statistics; only wall-clock time may differ.
+
+On top of the closure specialisation, two run-time optimisations the
+interpreted engine does not have:
+
+* **active-place worklist** — places are only visited while they can hold
+  tokens.  The worklist starts from the places marked at initialisation and
+  grows monotonically as deposits touch new places, so sub-nets a workload
+  never exercises (e.g. the multiply sub-net of an integer-only kernel) are
+  skipped entirely, not merely early-returned from.
+* **reservation-token pooling** — dataless reservation tokens are recycled
+  through a free list instead of being allocated on every producing arc
+  firing.
+
+Both backends share :class:`~repro.core.scheduler.StaticSchedule`; see the
+``EngineOptions`` docstring in :mod:`repro.core.engine` for which knobs
+apply to which backend.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import SimulationEngine
+
+from repro.compiled.plan import compile_plan
+
+
+class CompiledEngine(SimulationEngine):
+    """Cycle-accurate simulator running the compiled form of an RCPN model.
+
+    Construction performs the generation step (closure compilation); the
+    compiled plan is retained across :meth:`reset` so a model can be re-run
+    without paying compilation again.  Everything outside the per-cycle hot
+    path — ``run`` loop, halt/drain detection, flush and emission services —
+    is inherited from :class:`SimulationEngine`, which is what makes the two
+    backends behaviourally interchangeable.
+    """
+
+    backend = "compiled"
+
+    def __init__(self, net, options=None):
+        super().__init__(net, options=options)
+        # The pool list object is captured by the compiled closures; it must
+        # only ever be mutated in place, never rebound.
+        self._reservation_pool = []
+        self.plan = compile_plan(self)
+        self._worklist_names = set()
+        self._worklist = []
+        self._worklist_dirty = False
+        self._seed_worklist()
+
+    # -- active-place worklist ---------------------------------------------
+    def _seed_worklist(self):
+        """(Re)initialise the worklist from the places currently holding tokens.
+
+        Called at construction, after :meth:`reset` and at the top of
+        :meth:`run` so tokens deposited behind the engine's back (e.g. a
+        test priming a place directly) are picked up.
+        """
+        for place in self.schedule.order:
+            if (place.tokens or place.pending) and place.name not in self._worklist_names:
+                self._worklist_names.add(place.name)
+                self._worklist_dirty = True
+
+    def note_activity(self, place):
+        """Mark ``place`` as potentially holding tokens.
+
+        Only needed when tokens are deposited without going through the
+        engine (``Place.deposit(..., force=True)`` in tests); every engine
+        deposit path maintains the worklist automatically.
+        """
+        place = self.net._resolve_place(place)
+        if not place.is_end and place.name not in self._worklist_names:
+            self._worklist_names.add(place.name)
+            self._worklist_dirty = True
+
+    def _rebuild_worklist(self):
+        names = self._worklist_names
+        self._worklist = [step for name, step in self.plan.place_steps if name in names]
+        self._worklist_dirty = False
+
+    # -- engine-internal services overridden for the compiled backend --------
+    def _deposit(self, token, place, transition_delay):
+        SimulationEngine._deposit(self, token, place, transition_delay)
+        if place.name not in self._worklist_names and not place.is_end:
+            self._worklist_names.add(place.name)
+            self._worklist_dirty = True
+
+    def _recycle_reservation(self, token):
+        # Flushed reservation tokens go back to the free list.
+        self._reservation_pool.append(token)
+
+    # -- main loop ----------------------------------------------------------
+    def step(self):
+        """Simulate one clock cycle by running the compiled plan.
+
+        Identical observable behaviour to ``SimulationEngine.step``: two-list
+        commit, place steps in reverse-topological order (restricted to the
+        active worklist), generator transitions, optional utilisation
+        sampling, cycle/idle bookkeeping.
+        """
+        for place in self.schedule.two_list_places:
+            if place.pending:
+                place.commit_pending()
+        if self._worklist_dirty:
+            self._rebuild_worklist()
+        cycle = self.cycle
+        stats = self.stats
+        fired = 0
+        for place_step in self._worklist:
+            fired += place_step(cycle, stats)
+        fired += self.plan.generator_step(stats)
+        if self.options.collect_utilization:
+            for stage in self.net.stages.values():
+                stage.occupancy_accumulator += stage.occupancy
+        self.cycle += 1
+        stats.cycles = self.cycle
+        self._fired_this_cycle = fired
+        if fired == 0:
+            self._idle_cycles += 1
+        else:
+            self._idle_cycles = 0
+
+    def run(self, max_cycles=None, max_instructions=None):
+        self._seed_worklist()
+        return super().run(max_cycles=max_cycles, max_instructions=max_instructions)
+
+    def reset(self):
+        """Reset dynamic state while keeping the compiled plan.
+
+        The closures bind places, stages, the context and the reservation
+        pool — all of which survive a reset — so re-running a model costs no
+        recompilation (exercised by the reset-reuse tests).
+        """
+        super().reset()
+        self._reservation_pool.clear()
+        self._worklist_names.clear()
+        self._worklist = []
+        self._worklist_dirty = False
+        self._seed_worklist()
+
+    def compilation_summary(self):
+        """Specialisation statistics of the compiled plan (for reports)."""
+        return self.plan.summary()

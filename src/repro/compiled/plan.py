@@ -1,0 +1,289 @@
+"""Closure compilation of an RCPN model (the paper's simulator generation).
+
+The interpreted engine (:class:`repro.core.engine.SimulationEngine`)
+re-derives, for every token on every cycle, facts that are static properties
+of the model: which transitions can consume a token in a given place, what
+the capacity requirements of each transition are, whether a transition has a
+guard at all.  This module performs the paper's *generation* step proper:
+it partially evaluates the model against a validated net + static schedule
+and emits flat Python closures in which all of those decisions are already
+taken.
+
+Three kinds of closure are produced:
+
+* a **transition attempt** (:func:`compile_transition`) — one closure per
+  transition that checks the enable rule and, if enabled, fires, with the
+  capacity check specialised at compile time into one of three shapes
+  (no check at all / a single occupancy comparison / the general
+  multi-stage form) and the guard call omitted when the transition has no
+  guard;
+* a **place step** (:func:`compile_place_step`) — one closure per place
+  binding the place's dispatch table (operation class -> attempt tuple)
+  so the inner simulation loop performs no scheduler calls;
+* a **generator step** (:func:`compile_generator_step`) — one closure
+  driving all generator transitions of the instruction-independent sub-net.
+
+The closures intentionally reproduce the interpreted engine's observable
+behaviour *exactly* — same statistics counters, same transition attempt
+order, same emission-drain timing — so the two backends can be compared
+differentially (see ``tests/integration/test_compiled_differential.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.token import ReservationToken
+
+
+@dataclass
+class CompiledPlan:
+    """The output of compilation, consumed by ``CompiledEngine``.
+
+    ``place_steps`` is the full list of ``(place_name, step_closure)`` pairs
+    in schedule (reverse-topological) order; the engine's active-place
+    worklist selects a subsequence of it each cycle.  The counters describe
+    how much specialisation was achieved and feed the generation report.
+    """
+
+    place_steps: list = field(default_factory=list)
+    generator_step: object = None
+    transitions_compiled: int = 0
+    guard_free_transitions: int = 0
+    capacity_free_transitions: int = 0
+    single_stage_capacity_transitions: int = 0
+    dispatch_entries: int = 0
+    nonempty_dispatch_entries: int = 0
+
+    def summary(self):
+        return {
+            "transitions_compiled": self.transitions_compiled,
+            "guard_free_transitions": self.guard_free_transitions,
+            "capacity_free_transitions": self.capacity_free_transitions,
+            "single_stage_capacity_transitions": self.single_stage_capacity_transitions,
+            "dispatch_entries": self.dispatch_entries,
+            "nonempty_dispatch_entries": self.nonempty_dispatch_entries,
+            "places_compiled": len(self.place_steps),
+        }
+
+
+def compile_transition(engine, transition, plan=None):
+    """Compile one transition into an ``attempt(token, stats) -> bool`` closure.
+
+    The closure evaluates the paper's enable rule (reservation inputs
+    present, output capacity available, guard true) and fires when enabled,
+    returning ``True`` exactly when the interpreted engine's
+    ``is_enabled`` + ``fire`` pair would have fired.  For transitions of the
+    instruction sub-nets ``token`` is the instruction token being moved; for
+    generator transitions it is ``None``.
+
+    Compile-time specialisation:
+
+    * the capacity check collapses to *nothing* when the target is the end
+      place (or stays within an uncapacitated/same stage), to a single
+      ``occupancy < capacity`` comparison for the common plain-move case,
+      and to the general multi-stage form only when the transition has
+      reservation outputs or explicit ``capacity_stages``;
+    * the guard call disappears entirely for guard-less transitions;
+    * reservation tokens produced by the transition are drawn from the
+      engine's free list instead of being allocated (token pooling).
+    """
+    ctx = engine.ctx
+    net = engine.net
+    deposit = engine._deposit
+    pool = engine._reservation_pool
+
+    name = transition.name
+    guard = transition.guard
+    action = transition.action
+    source = transition.source
+    target = transition.target_place
+    consumes_token = transition.consumes_token
+    delay = transition.delay
+    token_mode = not transition.is_generator
+    source_stage = source.stage if source is not None else None
+    reservation_inputs = tuple(arc.place for arc in transition.reservation_inputs)
+    reservation_outputs = tuple(arc.place for arc in transition.reservation_outputs)
+
+    # -- capacity-check specialisation (mirrors the interpreted
+    #    _output_capacity_available, with the token-dependent parts resolved
+    #    at compile time: in token mode the token is never None). ----------
+    capacity_stage = None
+    needed = None
+    capacity_stages = ()
+    if not transition.reservation_outputs and not transition.capacity_stages:
+        if target is not None and not target.is_end:
+            stage = target.stage
+            if stage.capacity is not None and not (token_mode and stage is source_stage):
+                capacity_stage = stage
+    else:
+        needed_map = {}
+        if target is not None and not target.is_end:
+            needed_map[target.stage] = needed_map.get(target.stage, 0) + 1
+        for arc in transition.reservation_outputs:
+            place = arc.place
+            if place is not None and not place.is_end:
+                needed_map[place.stage] = needed_map.get(place.stage, 0) + arc.count
+        # A token leaving its current stage frees one slot when it stays
+        # within the same stage; fold that adjustment into the counts.
+        needed = tuple(
+            (stage, count - (1 if (token_mode and stage is source_stage) else 0))
+            for stage, count in needed_map.items()
+        )
+        capacity_stages = tuple(transition.capacity_stages)
+
+    if plan is not None:
+        plan.transitions_compiled += 1
+        if guard is None:
+            plan.guard_free_transitions += 1
+        if capacity_stage is None and needed is None:
+            plan.capacity_free_transitions += 1
+        elif capacity_stage is not None:
+            plan.single_stage_capacity_transitions += 1
+
+    def attempt(token, stats):
+        # ---- enable rule, fully inlined -------------------------------
+        for place in reservation_inputs:
+            if not place.has_reservation():
+                return False
+        if capacity_stage is not None:
+            # Single-comparison fast path (``_occupancy`` is the slot
+            # backing PipelineStage.occupancy; reading it directly avoids a
+            # property call in the hottest check of the simulation).
+            if capacity_stage._occupancy >= capacity_stage.capacity:
+                return False
+        elif needed is not None:
+            for stage, count in needed:
+                if not stage.has_room(count):
+                    return False
+            for stage in capacity_stages:
+                if not stage.has_room():
+                    return False
+        if guard is not None and not guard(token, ctx):
+            return False
+
+        # ---- fire, fully inlined (same observable order as
+        #      SimulationEngine.fire) -----------------------------------
+        stats.transition_firings[name] += 1
+        if token is not None and source is not None:
+            source.remove(token)
+        for place in reservation_inputs:
+            pool.append(place.take_reservation())
+        if action is not None:
+            action(token, ctx)
+        if token is not None and not consumes_token and target is not None:
+            deposit(token, target, delay)
+        for place in reservation_outputs:
+            if pool:
+                reservation = pool.pop()
+                reservation.tag = name
+                reservation.delay_override = None
+            else:
+                reservation = ReservationToken(tag=name)
+            deposit(reservation, place, delay)
+        queue = engine._emission_queue
+        if queue:
+            engine._emission_queue = []
+            for new_token, destination in queue:
+                if destination is None:
+                    destination = net.entry_place_for(new_token.opclass)
+                stats.generated_tokens += 1
+                deposit(new_token, destination, delay)
+        return True
+
+    return attempt
+
+
+def compile_place_step(place, attempts_by_opclass):
+    """Compile one place into a ``step(cycle, stats) -> fired`` closure.
+
+    ``attempts_by_opclass`` maps operation class name to the tuple of
+    compiled attempt closures in arc-priority order (the specialised form of
+    the paper's ``sorted_transitions`` dispatch table).  The closure mirrors
+    the interpreted ``_process_place``: ready instruction tokens are
+    snapshot, tokens moved earlier in the same cycle are skipped, and a
+    token that no transition accepts counts one stall.
+    """
+    get_attempts = attempts_by_opclass.get
+
+    def place_step(cycle, stats, _place=place, _get=get_attempts):
+        stored = _place.tokens
+        if not stored:
+            return 0
+        ready = [t for t in stored if t.is_instruction and t.ready_cycle <= cycle]
+        if not ready:
+            return 0
+        fired = 0
+        for token in ready:
+            if token.place is not _place:
+                continue  # moved by an earlier firing in this cycle
+            attempts = _get(token.opclass)
+            if attempts:
+                for attempt in attempts:
+                    if attempt(token, stats):
+                        fired += 1
+                        break
+                else:
+                    stats.stalls += 1
+            else:
+                stats.stalls += 1
+        return fired
+
+    return place_step
+
+
+def compile_generator_step(engine, transitions, plan=None):
+    """Compile the generator transitions into one ``step(stats)`` closure."""
+    generator_plans = tuple(
+        (compile_transition(engine, transition, plan), transition.max_firings_per_cycle)
+        for transition in transitions
+    )
+
+    def generator_step(stats):
+        fired = 0
+        for attempt, limit in generator_plans:
+            count = 0
+            while count < limit and attempt(None, stats):
+                count += 1
+            fired += count
+        return fired
+
+    return generator_step
+
+
+def compile_plan(engine):
+    """Compile the engine's net + schedule into a :class:`CompiledPlan`.
+
+    Dispatch tables are taken from the static schedule
+    (:meth:`repro.core.scheduler.StaticSchedule.transitions_for`), so the
+    compiled backend produces the same candidate order whether or not the
+    interpreted ``use_sorted_transitions`` knob is set — for the compiled
+    backend, sorted dispatch is a generation-time property, not a run-time
+    option.
+    """
+    plan = CompiledPlan()
+    schedule = engine.schedule
+    net = engine.net
+    attempt_cache = {}
+
+    def attempt_for(transition):
+        compiled = attempt_cache.get(id(transition))
+        if compiled is None:
+            compiled = compile_transition(engine, transition, plan)
+            attempt_cache[id(transition)] = compiled
+        return compiled
+
+    for place in schedule.order:
+        attempts_by_opclass = {}
+        for opclass in net.operation_classes:
+            candidates = schedule.transitions_for(place, opclass)
+            plan.dispatch_entries += 1
+            if candidates:
+                plan.nonempty_dispatch_entries += 1
+                attempts_by_opclass[opclass] = tuple(
+                    attempt_for(transition) for transition in candidates
+                )
+        plan.place_steps.append((place.name, compile_place_step(place, attempts_by_opclass)))
+
+    plan.generator_step = compile_generator_step(engine, schedule.generator_transitions, plan)
+    return plan

@@ -18,9 +18,36 @@ from repro.core.statistics import SimulationStatistics
 from repro.core.token import ReservationToken
 
 
+#: Valid values of :attr:`EngineOptions.backend`.
+ENGINE_BACKENDS = ("interpreted", "compiled")
+
+
 @dataclass
 class EngineOptions:
     """Knobs of the simulation engine.
+
+    ``backend`` selects the execution strategy:
+
+    * ``"interpreted"`` — :class:`SimulationEngine` walks the static
+      schedule each cycle, re-checking guards and capacities through the
+      generic enable/fire rules.  This is the reference implementation and
+      the ablation substrate.
+    * ``"compiled"`` — :class:`repro.compiled.CompiledEngine` partially
+      evaluates the model into flat per-place closures once and runs those
+      (the paper's simulator generation).  Statistics are bit-identical to
+      the interpreted backend; only wall-clock throughput differs.
+
+    Which knobs apply to which backend:
+
+    * ``max_cycles``, ``stall_limit``, ``collect_utilization``,
+      ``two_list_everywhere`` — both backends (they shape the shared
+      :class:`~repro.core.scheduler.StaticSchedule` or the shared run
+      loop).
+    * ``use_sorted_transitions`` — interpreted only.  It exists so the
+      ablation benchmark can price the sorted-dispatch optimisation; the
+      compiled backend always bakes the sorted dispatch tables into its
+      closures at generation time, so the knob has no run-time effect
+      there.
 
     ``use_sorted_transitions`` and ``two_list_everywhere`` switch the two
     paper optimisations off/on (Section 4); ``collect_utilization`` samples
@@ -34,6 +61,7 @@ class EngineOptions:
     two_list_everywhere: bool = False
     collect_utilization: bool = False
     stall_limit: int = 100_000
+    backend: str = "interpreted"
 
 
 class EngineContext:
@@ -85,7 +113,21 @@ class EngineContext:
 
 
 class SimulationEngine:
-    """Cycle-accurate simulator executing one RCPN model."""
+    """Cycle-accurate simulator executing one RCPN model (interpreted backend).
+
+    This engine evaluates the generic enable/fire rules against the static
+    schedule every cycle.  The compiled backend
+    (:class:`repro.compiled.CompiledEngine`) subclasses it, overriding only
+    the per-cycle hot path (``step`` and the deposit/flush internals); the
+    run loop, halt/drain logic and the :class:`EngineContext` services are
+    shared, which is what keeps the two backends drop-in interchangeable.
+    Anything observable — every counter of
+    :class:`~repro.core.statistics.SimulationStatistics` — must be identical
+    between backends; the differential tests enforce this.
+    """
+
+    #: Name of the execution strategy, for reports and benchmarks.
+    backend = "interpreted"
 
     def __init__(self, net, options=None):
         net.validate()
@@ -118,8 +160,19 @@ class SimulationEngine:
                 token.squashed = True
                 token.release_reservations()
                 squashed += 1
+            else:
+                self._recycle_reservation(token)
         self.stats.squashed += squashed
         return squashed
+
+    def _recycle_reservation(self, token):
+        """Hook for reclaiming a flushed reservation token.
+
+        The interpreted engine lets the garbage collector take it; the
+        compiled engine overrides this to return the token to its free
+        list.  Keeping the flush logic itself in one place protects the
+        backends' bit-identical-statistics contract.
+        """
 
     def flush_stage(self, stage):
         stage = stage if hasattr(stage, "places") else self.net.stage(stage)

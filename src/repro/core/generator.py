@@ -4,16 +4,27 @@
 structures that make the simulation loop fast: the per-(place, operation
 class) sorted transition lists, the reverse-topological place evaluation
 order and the set of feedback places that need two-list storage
-(Section 4).  :func:`generate_simulator` performs exactly that derivation
-and returns a ready-to-run engine; :class:`GenerationReport` exposes the
-derived structures so tests and benchmarks can inspect them.
+(Section 4).  :func:`generate_simulator` performs that derivation and
+returns a ready-to-run engine for the backend selected in
+:class:`~repro.core.engine.EngineOptions`:
+
+* ``backend="interpreted"`` — the derived structures are consulted by the
+  generic :class:`~repro.core.engine.SimulationEngine` loop each cycle;
+* ``backend="compiled"`` — the structures are additionally partially
+  evaluated into flat closures by :mod:`repro.compiled` and executed by
+  :class:`~repro.compiled.CompiledEngine` (the paper's generated-simulator
+  fast path).
+
+:class:`GenerationReport` exposes the derived structures so tests and
+benchmarks can inspect them; for the compiled backend it also carries the
+closure-specialisation counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.engine import EngineOptions, SimulationEngine
+from repro.core.engine import ENGINE_BACKENDS, EngineOptions, SimulationEngine
 
 
 @dataclass
@@ -21,38 +32,60 @@ class GenerationReport:
     """What the generator derived from the model (for inspection/reporting)."""
 
     model_name: str
+    backend: str = "interpreted"
     place_order: list = field(default_factory=list)
     two_list_places: list = field(default_factory=list)
     dispatch_entries: int = 0
     nonempty_dispatch_entries: int = 0
     generator_transitions: list = field(default_factory=list)
+    #: Closure-specialisation counters (compiled backend only, else None).
+    compilation: dict = None
 
     def summary(self):
-        return {
+        report = {
             "model": self.model_name,
+            "backend": self.backend,
             "places_in_order": len(self.place_order),
             "two_list_places": len(self.two_list_places),
             "dispatch_entries": self.dispatch_entries,
             "nonempty_dispatch_entries": self.nonempty_dispatch_entries,
             "generator_transitions": len(self.generator_transitions),
         }
+        if self.compilation is not None:
+            report["compilation"] = dict(self.compilation)
+        return report
 
 
 def generate_simulator(net, options=None):
     """Generate a cycle-accurate simulator for ``net``.
 
     Returns ``(engine, report)``: the engine is ready to run, the report
-    describes the statically derived structures.
+    describes the statically derived structures.  The engine class is
+    selected by ``options.backend`` (``"interpreted"`` or ``"compiled"``).
     """
-    engine = SimulationEngine(net, options=options or EngineOptions())
+    options = options or EngineOptions()
+    if options.backend not in ENGINE_BACKENDS:
+        raise ValueError(
+            "unknown engine backend %r; expected one of %s"
+            % (options.backend, ", ".join(ENGINE_BACKENDS))
+        )
+    if options.backend == "compiled":
+        # Imported lazily: repro.compiled builds on repro.core.engine.
+        from repro.compiled import CompiledEngine
+
+        engine = CompiledEngine(net, options=options)
+    else:
+        engine = SimulationEngine(net, options=options)
     schedule = engine.schedule
     dispatch = schedule.sorted_transitions or {}
     report = GenerationReport(
         model_name=net.name,
+        backend=engine.backend,
         place_order=[place.name for place in schedule.order],
         two_list_places=[place.name for place in schedule.two_list_places],
         dispatch_entries=len(dispatch),
         nonempty_dispatch_entries=sum(1 for value in dispatch.values() if value),
         generator_transitions=[t.name for t in schedule.generator_transitions],
+        compilation=engine.compilation_summary() if options.backend == "compiled" else None,
     )
     return engine, report

@@ -23,6 +23,11 @@ class BranchPredictor:
     def statistics(self):
         return {"predictions": self.predictions, "mispredictions": self.mispredictions}
 
+    def reset(self):
+        """Forget learned state and statistics (run-to-run reproducibility)."""
+        self.predictions = 0
+        self.mispredictions = 0
+
     def record(self, address, taken):
         """Predict, learn, and return True if the prediction was correct."""
         prediction = self.predict(address)
@@ -79,6 +84,14 @@ class BranchTargetBuffer:
         self.predictions = 0
         self.mispredictions = 0
 
+    def reset(self):
+        """Forget learned targets, counters and statistics."""
+        self.entries = {}
+        self.lookups = 0
+        self.hits = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
     def lookup(self, address):
         """Return ``(hit, predicted_taken, predicted_target)`` for ``address``."""
         self.lookups += 1
@@ -129,7 +142,13 @@ class BimodalPredictor(BranchPredictor):
         if entries <= 0 or entries & (entries - 1):
             raise ValueError("entries must be a positive power of two")
         self.entries = entries
+        self.initial = initial
         self.counters = [initial] * entries
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def reset(self):
+        self.counters = [self.initial] * self.entries
         self.predictions = 0
         self.mispredictions = 0
 

@@ -16,6 +16,8 @@ This module provides what every ARM7-family model needs:
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.decoder import InstructionDecoder
 from repro.core.engine import EngineOptions
 from repro.core.generator import generate_simulator
@@ -444,13 +446,29 @@ def block_transfer_addresses(token):
 # Processor facade
 # ---------------------------------------------------------------------------
 
+def resolve_engine_options(engine_options, backend=None):
+    """Merge a builder's ``engine_options`` and ``backend`` arguments.
+
+    Every model builder accepts both an :class:`EngineOptions` object and a
+    ``backend`` shortcut string (``"interpreted"`` / ``"compiled"``); the
+    shortcut, when given, overrides the backend recorded in the options.
+    The caller's options object is never mutated.
+    """
+    options = engine_options or EngineOptions()
+    if backend is not None and backend != options.backend:
+        options = replace(options, backend=backend)
+    return options
+
+
 class Processor:
     """A complete generated simulator: model + decoder + engine + memory.
 
     Model builders return instances of this class; users interact with it
     exactly like with the fixed baseline simulator (``load_program``,
     ``run``, ``register`` ...), which is what the cross-validation tests and
-    the benchmark harness rely on.
+    the benchmark harness rely on.  The engine is produced by
+    :func:`repro.core.generator.generate_simulator` and may be either
+    backend; ``processor.backend`` reports which one.
     """
 
     def __init__(self, net, decoder, core, memory, engine_options=None):
@@ -463,6 +481,11 @@ class Processor:
         )
 
     @property
+    def backend(self):
+        """Execution strategy of the generated engine ("interpreted"/"compiled")."""
+        return self.engine.backend
+
+    @property
     def stats(self):
         return self.engine.stats
 
@@ -472,6 +495,24 @@ class Processor:
 
     def run(self, max_cycles=None, max_instructions=None):
         return self.engine.run(max_cycles=max_cycles, max_instructions=max_instructions)
+
+    def reset(self):
+        """Reset every piece of dynamic state for a bit-reproducible re-run.
+
+        Engine state, cache contents/statistics and learned predictor/BTB
+        state are cleared; the generated engine (including the compiled
+        plan, when the compiled backend is selected) is kept.  Call
+        :meth:`load_program` afterwards to restore the program image and
+        the fetch PC.
+        """
+        self.engine.reset()
+        self.memory.reset_statistics()
+        for unit in self.net.units.values():
+            if unit is self.memory or unit is self.core:
+                continue  # handled above / by load_program
+            reset = getattr(unit, "reset", None)
+            if callable(reset):
+                reset()
 
     def register(self, index):
         """Architectural value of general-purpose register ``index``."""

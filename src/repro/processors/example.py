@@ -25,6 +25,7 @@ from repro.processors.common import (
     condition_holds,
     make_arm_model_parts,
     make_decoder,
+    resolve_engine_options,
     operand_read,
     token_flags_ready,
 )
@@ -36,8 +37,14 @@ STAGES = ("L1", "L2", "L3", "L4")
 S1_FORWARD_STATE = "L3"
 
 
-def build_example_processor(memory_config=None, engine_options=None, use_decode_cache=True):
-    """Build the Figure 4/5 example processor and its generated simulator."""
+def build_example_processor(
+    memory_config=None, engine_options=None, use_decode_cache=True, backend=None
+):
+    """Build the Figure 4/5 example processor and its generated simulator.
+
+    ``backend`` selects the engine ("interpreted"/"compiled"), overriding
+    ``engine_options.backend`` when given.
+    """
     net, context, core, memory = make_arm_model_parts(
         "Figure5Example",
         memory_config,
@@ -282,5 +289,5 @@ def build_example_processor(memory_config=None, engine_options=None, use_decode_
     net.add_transition("W_system", system_net, source=system_l2, target=system_end,
                        action=system_retire_action)
 
-    options = engine_options or EngineOptions()
+    options = resolve_engine_options(engine_options, backend)
     return Processor(net, decoder, core, memory, engine_options=options)

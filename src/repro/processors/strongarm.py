@@ -34,6 +34,7 @@ from repro.processors.common import (
     condition_holds,
     make_arm_model_parts,
     make_decoder,
+    resolve_engine_options,
     operand_read,
     operand_ready,
     operands_ready,
@@ -58,8 +59,14 @@ def _add_pipeline_places(net, subnet, stages=PIPELINE_STAGES):
     return places
 
 
-def build_strongarm_processor(memory_config=None, engine_options=None, use_decode_cache=True):
-    """Build the StrongARM model and generate its cycle-accurate simulator."""
+def build_strongarm_processor(
+    memory_config=None, engine_options=None, use_decode_cache=True, backend=None
+):
+    """Build the StrongARM model and generate its cycle-accurate simulator.
+
+    ``backend`` selects the engine ("interpreted"/"compiled"), overriding
+    ``engine_options.backend`` when given.
+    """
     net, context, core, memory = make_arm_model_parts("StrongARM", memory_config)
     predictor = StaticNotTakenPredictor()
     net.add_unit("predictor", predictor)
@@ -494,7 +501,7 @@ def build_strongarm_processor(memory_config=None, engine_options=None, use_decod
     net.add_transition("system.retire", system_net, source=system["MW"], target=system["end"],
                        action=system_retire_action)
 
-    options = engine_options or EngineOptions()
+    options = resolve_engine_options(engine_options, backend)
     return Processor(net, decoder, core, memory, engine_options=options)
 
 

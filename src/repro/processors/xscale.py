@@ -32,6 +32,7 @@ from repro.processors.common import (
     condition_holds,
     make_arm_model_parts,
     make_decoder,
+    resolve_engine_options,
     operand_read,
     operand_ready,
     operands_ready,
@@ -77,8 +78,14 @@ def _build_chain(net, subnet, stages, hooks=None):
     return places
 
 
-def build_xscale_processor(memory_config=None, engine_options=None, use_decode_cache=True):
-    """Build the XScale model and generate its cycle-accurate simulator."""
+def build_xscale_processor(
+    memory_config=None, engine_options=None, use_decode_cache=True, backend=None
+):
+    """Build the XScale model and generate its cycle-accurate simulator.
+
+    ``backend`` selects the engine ("interpreted"/"compiled"), overriding
+    ``engine_options.backend`` when given.
+    """
     net, context, core, memory = make_arm_model_parts("XScale", memory_config)
     btb = BranchTargetBuffer(entries=128)
     net.add_unit("btb", btb)
@@ -496,5 +503,5 @@ def build_xscale_processor(memory_config=None, engine_options=None, use_decode_c
         },
     )
 
-    options = engine_options or EngineOptions()
+    options = resolve_engine_options(engine_options, backend)
     return Processor(net, decoder, core, memory, engine_options=options)

@@ -1,0 +1,262 @@
+"""Unit tests for the compiled engine (repro.compiled).
+
+Small hand-crafted nets check the compiled backend's mechanisms one at a
+time: backend selection through ``EngineOptions``/``generate_simulator``,
+drop-in equivalence with the interpreted engine, the active-place worklist,
+reservation-token pooling, and the EngineContext services (emit / flush /
+stop) under compiled execution.
+"""
+
+import pytest
+
+from repro.compiled import CompiledEngine, compile_plan
+from repro.core import (
+    EngineOptions,
+    InstructionToken,
+    OperationClass,
+    RCPN,
+    SimulationEngine,
+    generate_simulator,
+)
+
+
+def make_linear_net(num_tokens=3, stage_delay=1, extra_class=False):
+    """fetch -> A -> B -> end with one operation class 'op'.
+
+    ``extra_class`` registers a second operation class handled by a separate
+    sub-net that no token ever enters (for worklist-skipping tests).
+    """
+    net = RCPN("linear")
+    net.add_stage("A", capacity=1, delay=stage_delay)
+    net.add_stage("B", capacity=1, delay=stage_delay)
+
+    net.add_operation_class(OperationClass("op", symbols={}))
+    gen = net.add_subnet("gen")
+    sub = net.add_subnet("op", opclasses=("op",))
+    place_a = net.add_place("A", sub, entry=True)
+    place_b = net.add_place("B", sub)
+    net.add_place("end", sub)
+
+    if extra_class:
+        net.add_operation_class(OperationClass("unused", symbols={}))
+        idle = net.add_subnet("unused", opclasses=("unused",))
+        net.add_place("A", idle, name="unused.A", entry=True)
+        net.add_place("end", idle, name="unused.end")
+        net.add_transition("unused.drain", idle, source="unused.A", target="unused.end")
+
+    state = {"emitted": 0}
+
+    def fetch_guard(_t, _ctx):
+        return state["emitted"] < num_tokens
+
+    def fetch_action(_t, ctx):
+        state["emitted"] += 1
+        ctx.emit(InstructionToken(instr=state["emitted"], opclass="op"))
+        if state["emitted"] >= num_tokens:
+            ctx.stop("done")
+
+    net.add_transition("fetch", gen, guard=fetch_guard, action=fetch_action,
+                       capacity_stages=["A"])
+    net.add_transition("ab", sub, source=place_a, target=place_b)
+    net.add_transition("bend", sub, source=place_b, target="op.end")
+    return net, state
+
+
+def make_reservation_net(cycles=5):
+    """A generator producing a reservation each cycle and a consumer taking it."""
+    net = RCPN("reservations")
+    net.add_stage("R", capacity=1, delay=0)
+    net.add_operation_class(OperationClass("op", symbols={}))
+    gen = net.add_subnet("gen")
+    sub = net.add_subnet("op", opclasses=("op",))
+    net.add_place("R", sub, name="op.R", entry=True)
+
+    state = {"produced": 0, "consumed": 0}
+
+    def produce_guard(_t, _ctx):
+        return state["produced"] < cycles
+
+    def produce_action(_t, _ctx):
+        state["produced"] += 1
+
+    def consume_action(_t, ctx):
+        state["consumed"] += 1
+        if state["consumed"] >= cycles:
+            ctx.stop("done")
+
+    net.add_transition("produce", gen, guard=produce_guard, action=produce_action,
+                       produces=["op.R"])
+    net.add_transition("consume", gen, action=consume_action, consumes=["op.R"])
+    return net, state
+
+
+# -- backend selection -----------------------------------------------------------
+
+
+def test_generate_simulator_backend_selection():
+    net, _ = make_linear_net()
+    engine, report = generate_simulator(net, EngineOptions(backend="compiled"))
+    assert isinstance(engine, CompiledEngine)
+    assert engine.backend == "compiled"
+    assert report.backend == "compiled"
+    assert report.compilation["transitions_compiled"] == 3
+    assert report.compilation["places_compiled"] == len(report.place_order)
+
+    net2, _ = make_linear_net()
+    engine2, report2 = generate_simulator(net2)
+    assert isinstance(engine2, SimulationEngine)
+    assert not isinstance(engine2, CompiledEngine)
+    assert report2.backend == "interpreted"
+    assert report2.compilation is None
+
+
+def test_generate_simulator_rejects_unknown_backend():
+    net, _ = make_linear_net()
+    with pytest.raises(ValueError, match="unknown engine backend"):
+        generate_simulator(net, EngineOptions(backend="jit"))
+
+
+# -- drop-in equivalence on hand-crafted nets ------------------------------------
+
+
+@pytest.mark.parametrize("stage_delay", [0, 1, 2])
+def test_compiled_matches_interpreted_on_linear_net(stage_delay):
+    results = {}
+    for backend in ("interpreted", "compiled"):
+        net, _ = make_linear_net(num_tokens=5, stage_delay=stage_delay)
+        engine, _ = generate_simulator(net, EngineOptions(backend=backend))
+        stats = engine.run(max_cycles=200)
+        results[backend] = (
+            stats.cycles,
+            stats.instructions,
+            stats.stalls,
+            dict(stats.transition_firings),
+            stats.finish_reason,
+        )
+    assert results["compiled"] == results["interpreted"]
+    assert results["compiled"][4] == "done"
+
+
+def test_compiled_step_and_context_services():
+    net, state = make_linear_net(num_tokens=2)
+    engine = CompiledEngine(net)
+    engine.step()
+    assert engine.cycle == 1
+    assert state["emitted"] >= 1
+    # The engine context exposes the same services as the interpreted one.
+    assert engine.ctx.cycle == 1
+    engine.run(max_cycles=100)
+    assert engine.stats.instructions == 2
+
+
+def test_compiled_flush_stage_squashes_tokens():
+    net, _ = make_linear_net(num_tokens=3)
+    engine = CompiledEngine(net)
+    engine.step()  # fetch deposits the first token into op.A
+    place_a = net.place("op.A")
+    assert place_a.occupancy() == 1
+    squashed = engine.flush_stage("A")
+    assert squashed == 1
+    assert place_a.occupancy() == 0
+    assert engine.stats.squashed == 1
+
+
+# -- active-place worklist -------------------------------------------------------
+
+
+def test_worklist_skips_never_used_subnet():
+    net, _ = make_linear_net(num_tokens=3, extra_class=True)
+    engine = CompiledEngine(net)
+    engine.run(max_cycles=100)
+    assert engine.stats.instructions == 3
+    assert "op.A" in engine._worklist_names
+    assert "op.B" in engine._worklist_names
+    # No token ever entered the unused sub-net: its place is never visited.
+    assert "unused.A" not in engine._worklist_names
+    # End places are retirement sinks, never part of the worklist.
+    assert "op.end" not in engine._worklist_names
+
+
+def test_worklist_picks_up_manual_deposits():
+    net, _ = make_linear_net(num_tokens=0)  # fetch never fires
+    engine = CompiledEngine(net)
+    token = InstructionToken(instr=0, opclass="op")
+    net.place("op.A").deposit(token, ready_cycle=0, force=True)
+    engine.request_halt("drain")
+    engine.run(max_cycles=50)  # run() reseeds the worklist from place contents
+    assert engine.stats.instructions == 1
+
+
+def test_note_activity_for_direct_stepping():
+    net, _ = make_linear_net(num_tokens=0)
+    engine = CompiledEngine(net)
+    token = InstructionToken(instr=0, opclass="op")
+    net.place("op.A").deposit(token, ready_cycle=0, force=True)
+    engine.note_activity("op.A")
+    for _ in range(6):
+        engine.step()
+    assert engine.stats.instructions == 1
+
+
+# -- reservation-token pooling ---------------------------------------------------
+
+
+def test_reservation_tokens_are_pooled_and_reused():
+    net, state = make_reservation_net(cycles=6)
+    engine = CompiledEngine(net)
+    engine.step()
+    # The produced reservation was consumed in the same cycle and recycled.
+    assert len(engine._reservation_pool) == 1
+    recycled = engine._reservation_pool[0]
+    engine.step()
+    # The next production reused the pooled token object rather than
+    # allocating a fresh one.
+    assert len(engine._reservation_pool) == 1
+    assert engine._reservation_pool[0] is recycled
+    engine.run(max_cycles=50)
+    assert state["produced"] == 6
+    assert state["consumed"] == 6
+    assert engine.stats.finish_reason == "done"
+
+
+def test_reservation_pool_matches_interpreted_behaviour():
+    results = {}
+    for backend in ("interpreted", "compiled"):
+        net, _ = make_reservation_net(cycles=4)
+        engine, _ = generate_simulator(net, EngineOptions(backend=backend))
+        stats = engine.run(max_cycles=50)
+        results[backend] = (stats.cycles, dict(stats.transition_firings), stats.finish_reason)
+    assert results["compiled"] == results["interpreted"]
+
+
+# -- reset reuse -----------------------------------------------------------------
+
+
+def test_reset_keeps_compiled_plan_and_pool_identity():
+    net, state = make_linear_net(num_tokens=3)
+    engine = CompiledEngine(net)
+    first = engine.run(max_cycles=100)
+    plan = engine.plan
+    pool = engine._reservation_pool
+    assert first.instructions == 3
+
+    state["emitted"] = 0
+    engine.reset()
+    assert engine.plan is plan
+    assert engine._reservation_pool is pool
+    second = engine.run(max_cycles=100)
+    assert second.cycles == first.cycles
+    assert second.instructions == first.instructions
+    assert dict(second.transition_firings) == dict(first.transition_firings)
+
+
+def test_compile_plan_counters_are_consistent():
+    net, _ = make_linear_net()
+    engine = CompiledEngine(net)
+    summary = engine.compilation_summary()
+    assert summary["transitions_compiled"] == len(net.transitions)
+    assert summary["places_compiled"] == len(engine.schedule.order)
+    assert summary["nonempty_dispatch_entries"] <= summary["dispatch_entries"]
+    # compile_plan is a pure function of the engine: recompiling yields the
+    # same shape.
+    assert compile_plan(engine).summary() == summary
