@@ -10,27 +10,18 @@ each RCPN to a standard CPN and reports the structural blow-up.
 import pytest
 
 from repro.analysis import model_complexity_table
-from repro.processors import (
-    build_example_processor,
-    build_strongarm_processor,
-    build_xscale_processor,
-)
+from repro.processors import build_processor, processor_names
 
 from conftest import record_result
 
-MODELS = {
-    "figure5-example": build_example_processor,
-    "strongarm": build_strongarm_processor,
-    "xscale": build_xscale_processor,
-}
+#: Every registered model, including the spec-defined variants.
+MODELS = processor_names()
 
 
 @pytest.mark.parametrize("model", list(MODELS))
 def test_fig02_model_complexity(benchmark, model):
-    builder = MODELS[model]
-
     def build_and_convert():
-        return model_complexity_table({model: builder()})[0]
+        return model_complexity_table({model: build_processor(model)})[0]
 
     row = benchmark.pedantic(build_and_convert, rounds=1, iterations=1)
 

@@ -10,24 +10,17 @@ for the paper's "one man-day / three man-days" modeling-effort narrative.
 
 import pytest
 
-from repro.processors import (
-    build_example_processor,
-    build_strongarm_processor,
-    build_xscale_processor,
-)
+from repro.processors import build_processor, processor_names
 
 from conftest import record_result
 
-MODELS = {
-    "figure5-example": build_example_processor,
-    "strongarm": build_strongarm_processor,
-    "xscale": build_xscale_processor,
-}
+#: Every registered model, including the spec-defined variants.
+MODELS = processor_names()
 
 
 @pytest.mark.parametrize("model", list(MODELS))
 def test_sec5_model_inventory(benchmark, model):
-    processor = benchmark.pedantic(MODELS[model], rounds=1, iterations=1)
+    processor = benchmark.pedantic(lambda: build_processor(model), rounds=1, iterations=1)
 
     size = processor.complexity()
     report = processor.generation_report

@@ -25,7 +25,7 @@ def _long_description():
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Generic Pipelined Processor Modeling and High "
         "Performance Cycle-Accurate Simulator Generation' (Reshadi & Dutt, "

@@ -19,6 +19,13 @@ Sub-packages
     specialized guard/capacity checks, active-place worklist, reservation
     token pooling), selected with ``EngineOptions(backend="compiled")``.
     Bit-identical statistics to the interpreted engine, higher throughput.
+``repro.describe``
+    The declarative pipeline-description layer: ``PipelineSpec`` and
+    friends (pure data, validated, content-hashed), the shared ARM
+    transition semantics and the elaborator that turns a spec into an
+    RCPN.  Every shipped processor model is a spec; the spec fingerprint
+    keys the simulator-generation caches so rebuilding a model reuses the
+    static analysis.
 ``repro.cpn``
     A Colored Petri Net substrate with analysis tools and the RCPN -> CPN
     conversion.
@@ -28,8 +35,10 @@ Sub-packages
 ``repro.memory``
     Main memory, caches and branch predictors.
 ``repro.processors``
-    RCPN models: the paper's example processor, StrongARM, XScale and a
-    Tomasulo-style machine.
+    The registered pipeline models (``processor_names()`` /
+    ``build_processor()``): the paper's example processor, StrongARM,
+    XScale, and the spec-defined ``arm7-mini`` and ``xscale-deep``
+    variants.
 ``repro.baseline``
     The fixed-architecture (SimpleScalar-style) cycle-accurate baseline and
     a functional instruction-set simulator.
@@ -41,11 +50,12 @@ Sub-packages
     experiments.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "core",
     "compiled",
+    "describe",
     "cpn",
     "isa",
     "memory",

@@ -32,14 +32,10 @@ from dataclasses import dataclass, field
 from repro.isa.alu import multiply_early_termination_cycles
 from repro.isa.encoding import decode
 from repro.isa.instructions import (
-    Branch,
     DataProcessing,
     DataOpcode,
-    LoadStore,
     LoadStoreMultiple,
     Multiply,
-    System,
-    SystemOp,
 )
 from repro.isa.registers import PC
 from repro.isa.semantics import CPUState, execute

@@ -40,7 +40,6 @@ from repro.isa.alu import multiply_early_termination_cycles
 from repro.isa.conditions import Condition
 from repro.isa.encoding import decode
 from repro.isa.instructions import (
-    Branch,
     DataOpcode,
     DataProcessing,
     LoadStoreMultiple,

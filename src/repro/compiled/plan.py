@@ -33,7 +33,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.scheduler import GenerationCache, structure_signature
 from repro.core.token import ReservationToken
+
+
+class PlanBlueprint:
+    """Name-level compilation decisions, reusable across builds of one spec.
+
+    The closures themselves bind net objects and must be rebuilt per engine,
+    but the *decisions* — which capacity-check shape each transition gets —
+    are pure functions of the model structure.  A blueprint records them by
+    transition name so :func:`compile_plan` can skip the specialisation
+    analysis when an identical spec (same ``net.spec_fingerprint``) was
+    compiled before; the :func:`~repro.core.scheduler.structure_signature`
+    guards against nets mutated after elaboration.
+    """
+
+    __slots__ = ("shapes", "signature")
+
+    def __init__(self, shapes, signature):
+        self.shapes = dict(shapes)
+        self.signature = signature
+
+
+#: Process-wide compiled-plan cache keyed by spec fingerprint.
+PLAN_CACHE = GenerationCache()
 
 
 @dataclass
@@ -54,6 +78,8 @@ class CompiledPlan:
     single_stage_capacity_transitions: int = 0
     dispatch_entries: int = 0
     nonempty_dispatch_entries: int = 0
+    #: "hit" / "miss" for fingerprinted models, "uncached" for hand-built nets.
+    cache_status: str = "uncached"
 
     def summary(self):
         return {
@@ -64,10 +90,46 @@ class CompiledPlan:
             "dispatch_entries": self.dispatch_entries,
             "nonempty_dispatch_entries": self.nonempty_dispatch_entries,
             "places_compiled": len(self.place_steps),
+            "plan_cache": self.cache_status,
         }
 
 
-def compile_transition(engine, transition, plan=None):
+def transition_capacity_shape(transition):
+    """Derive one transition's capacity-check shape as name-level data.
+
+    Returns ``("free",)`` (no check needed), ``("single", stage_name)`` (one
+    occupancy comparison) or ``("multi", ((stage_name, count), ...),
+    (capacity_stage_names, ...))`` (the general form).  The shape is a pure
+    function of the model structure, which is what makes it cacheable per
+    spec fingerprint (:class:`PlanBlueprint`).
+    """
+    token_mode = not transition.is_generator
+    source = transition.source
+    source_stage = source.stage if source is not None else None
+    target = transition.target_place
+    if not transition.reservation_outputs and not transition.capacity_stages:
+        if target is not None and not target.is_end:
+            stage = target.stage
+            if stage.capacity is not None and not (token_mode and stage is source_stage):
+                return ("single", stage.name)
+        return ("free",)
+    needed_map = {}
+    if target is not None and not target.is_end:
+        needed_map[target.stage] = needed_map.get(target.stage, 0) + 1
+    for arc in transition.reservation_outputs:
+        place = arc.place
+        if place is not None and not place.is_end:
+            needed_map[place.stage] = needed_map.get(place.stage, 0) + arc.count
+    # A token leaving its current stage frees one slot when it stays
+    # within the same stage; fold that adjustment into the counts.
+    needed = tuple(
+        (stage.name, count - (1 if (token_mode and stage is source_stage) else 0))
+        for stage, count in needed_map.items()
+    )
+    return ("multi", needed, tuple(stage.name for stage in transition.capacity_stages))
+
+
+def compile_transition(engine, transition, plan=None, shape=None):
     """Compile one transition into an ``attempt(token, stats) -> bool`` closure.
 
     The closure evaluates the paper's enable rule (reservation inputs
@@ -87,6 +149,12 @@ def compile_transition(engine, transition, plan=None):
     * the guard call disappears entirely for guard-less transitions;
     * reservation tokens produced by the transition are drawn from the
       engine's free list instead of being allocated (token pooling).
+
+    ``shape`` is the precomputed :func:`transition_capacity_shape` (served
+    from the :data:`PLAN_CACHE` blueprint on repeated builds of one spec);
+    when omitted it is derived here, mirroring the interpreted
+    ``_output_capacity_available`` with the token-dependent parts resolved
+    at compile time (in token mode the token is never None).
     """
     ctx = engine.ctx
     net = engine.net
@@ -100,37 +168,22 @@ def compile_transition(engine, transition, plan=None):
     target = transition.target_place
     consumes_token = transition.consumes_token
     delay = transition.delay
-    token_mode = not transition.is_generator
-    source_stage = source.stage if source is not None else None
     reservation_inputs = tuple(arc.place for arc in transition.reservation_inputs)
     reservation_outputs = tuple(arc.place for arc in transition.reservation_outputs)
 
-    # -- capacity-check specialisation (mirrors the interpreted
-    #    _output_capacity_available, with the token-dependent parts resolved
-    #    at compile time: in token mode the token is never None). ----------
+    # -- capacity-check specialisation: resolve the (possibly cached) shape
+    #    back to this net's stage objects. --------------------------------
+    if shape is None:
+        shape = transition_capacity_shape(transition)
+    stages = net.stages
     capacity_stage = None
     needed = None
     capacity_stages = ()
-    if not transition.reservation_outputs and not transition.capacity_stages:
-        if target is not None and not target.is_end:
-            stage = target.stage
-            if stage.capacity is not None and not (token_mode and stage is source_stage):
-                capacity_stage = stage
-    else:
-        needed_map = {}
-        if target is not None and not target.is_end:
-            needed_map[target.stage] = needed_map.get(target.stage, 0) + 1
-        for arc in transition.reservation_outputs:
-            place = arc.place
-            if place is not None and not place.is_end:
-                needed_map[place.stage] = needed_map.get(place.stage, 0) + arc.count
-        # A token leaving its current stage frees one slot when it stays
-        # within the same stage; fold that adjustment into the counts.
-        needed = tuple(
-            (stage, count - (1 if (token_mode and stage is source_stage) else 0))
-            for stage, count in needed_map.items()
-        )
-        capacity_stages = tuple(transition.capacity_stages)
+    if shape[0] == "single":
+        capacity_stage = stages[shape[1]]
+    elif shape[0] == "multi":
+        needed = tuple((stages[stage], count) for stage, count in shape[1])
+        capacity_stages = tuple(stages[stage] for stage in shape[2])
 
     if plan is not None:
         plan.transitions_compiled += 1
@@ -232,10 +285,14 @@ def compile_place_step(place, attempts_by_opclass):
     return place_step
 
 
-def compile_generator_step(engine, transitions, plan=None):
+def compile_generator_step(engine, transitions, plan=None, attempt_factory=None):
     """Compile the generator transitions into one ``step(stats)`` closure."""
+    if attempt_factory is None:
+        def attempt_factory(transition):
+            return compile_transition(engine, transition, plan)
+
     generator_plans = tuple(
-        (compile_transition(engine, transition, plan), transition.max_firings_per_cycle)
+        (attempt_factory(transition), transition.max_firings_per_cycle)
         for transition in transitions
     )
 
@@ -266,10 +323,30 @@ def compile_plan(engine):
     net = engine.net
     attempt_cache = {}
 
+    fingerprint = getattr(net, "spec_fingerprint", None)
+    blueprint = PLAN_CACHE.lookup(fingerprint) if fingerprint is not None else None
+    signature = structure_signature(net) if fingerprint is not None else None
+    if blueprint is not None and blueprint.signature != signature:
+        # Mirror the schedule cache's structural sanity check: the net was
+        # mutated after elaboration, so the cached shapes may be stale;
+        # re-derive and overwrite.
+        blueprint = None
+    if fingerprint is None:
+        plan.cache_status = "uncached"
+    else:
+        plan.cache_status = "hit" if blueprint is not None else "miss"
+    cached_shapes = blueprint.shapes if blueprint is not None else None
+    collected_shapes = {} if (fingerprint is not None and blueprint is None) else None
+
     def attempt_for(transition):
         compiled = attempt_cache.get(id(transition))
         if compiled is None:
-            compiled = compile_transition(engine, transition, plan)
+            shape = cached_shapes.get(transition.name) if cached_shapes is not None else None
+            if shape is None:
+                shape = transition_capacity_shape(transition)
+                if collected_shapes is not None:
+                    collected_shapes[transition.name] = shape
+            compiled = compile_transition(engine, transition, plan, shape=shape)
             attempt_cache[id(transition)] = compiled
         return compiled
 
@@ -285,5 +362,12 @@ def compile_plan(engine):
                 )
         plan.place_steps.append((place.name, compile_place_step(place, attempts_by_opclass)))
 
-    plan.generator_step = compile_generator_step(engine, schedule.generator_transitions, plan)
+    plan.generator_step = compile_generator_step(
+        engine, schedule.generator_transitions, plan, attempt_factory=attempt_for
+    )
+    if collected_shapes is not None and len(collected_shapes) == len(attempt_cache):
+        # Equal counts mean every compiled transition had a distinct name;
+        # a name collision would make the blueprint ambiguous, so skip
+        # caching (mirrors the schedule cache's uniqueness guard).
+        PLAN_CACHE.store(fingerprint, PlanBlueprint(collected_shapes, signature))
     return plan

@@ -18,7 +18,7 @@ scheme generically:
 
 from __future__ import annotations
 
-from repro.core.operands import Const, RegRef
+from repro.core.operands import RegRef
 from repro.core.token import InstructionToken
 
 

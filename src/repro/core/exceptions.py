@@ -17,6 +17,30 @@ class SimulationError(RCPNError):
     """The simulation engine reached an inconsistent state."""
 
 
+class UnknownNameError(KeyError):
+    """A registry lookup failed; the message lists every valid name.
+
+    Shared by the processor and workload registries so both produce the
+    same actionable error shape: what was asked for, what exists.
+    """
+
+    def __init__(self, kind, name, valid):
+        self.kind = kind
+        self.name = name
+        self.valid = tuple(valid)
+        message = "unknown %s %r; registered %ss: %s" % (
+            kind,
+            name,
+            kind,
+            ", ".join(self.valid) or "<none>",
+        )
+        super().__init__(message)
+        self._message = message
+
+    def __str__(self):
+        return self._message
+
+
 class HazardProtocolError(RCPNError):
     """A register-access interface was used without its guard counterpart.
 

@@ -40,6 +40,10 @@ class GenerationReport:
     generator_transitions: list = field(default_factory=list)
     #: Closure-specialisation counters (compiled backend only, else None).
     compilation: dict = None
+    #: Content hash of the pipeline spec (None for hand-built nets).
+    spec_fingerprint: str = None
+    #: "hit"/"miss" for fingerprinted models, "uncached" for hand-built nets.
+    schedule_cache: str = "uncached"
 
     def summary(self):
         report = {
@@ -50,7 +54,10 @@ class GenerationReport:
             "dispatch_entries": self.dispatch_entries,
             "nonempty_dispatch_entries": self.nonempty_dispatch_entries,
             "generator_transitions": len(self.generator_transitions),
+            "schedule_cache": self.schedule_cache,
         }
+        if self.spec_fingerprint is not None:
+            report["spec_fingerprint"] = self.spec_fingerprint
         if self.compilation is not None:
             report["compilation"] = dict(self.compilation)
         return report
@@ -78,6 +85,7 @@ def generate_simulator(net, options=None):
         engine = SimulationEngine(net, options=options)
     schedule = engine.schedule
     dispatch = schedule.sorted_transitions or {}
+    fingerprint = getattr(net, "spec_fingerprint", None)
     report = GenerationReport(
         model_name=net.name,
         backend=engine.backend,
@@ -87,5 +95,9 @@ def generate_simulator(net, options=None):
         nonempty_dispatch_entries=sum(1 for value in dispatch.values() if value),
         generator_transitions=[t.name for t in schedule.generator_transitions],
         compilation=engine.compilation_summary() if options.backend == "compiled" else None,
+        spec_fingerprint=fingerprint,
+        schedule_cache=(
+            ("hit" if schedule.from_cache else "miss") if fingerprint is not None else "uncached"
+        ),
     )
     return engine, report

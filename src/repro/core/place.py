@@ -14,7 +14,6 @@ paper.
 from __future__ import annotations
 
 from repro.core.exceptions import CapacityError
-from repro.core.token import Token
 
 
 class Place:

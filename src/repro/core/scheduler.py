@@ -11,6 +11,13 @@ RCPN structure (Section 4):
    ordered in reverse topological order of the instruction flow so tokens of
    the previous cycle are read before being overwritten; only places on
    feedback edges need the two-list (master/slave) storage scheme.
+
+Both analyses are pure functions of the model *structure*.  Models built by
+the declarative layer carry a stable content hash (``net.spec_fingerprint``,
+from :meth:`repro.describe.PipelineSpec.fingerprint`), which keys
+:data:`SCHEDULE_CACHE`: rebuilding the same spec re-uses the first build's
+analysis as a name-level :class:`ScheduleBlueprint`, rehydrated against the
+new net's objects instead of being re-derived.
 """
 
 from __future__ import annotations
@@ -125,12 +132,160 @@ def mark_feedback_places(net, order=None):
     return [net.places[name] for name in sorted(feedback)]
 
 
+def structure_signature(net):
+    """A cheap digest of everything the cached blueprints depend on.
+
+    Covers stages (capacity/delay), places (stage binding), and transitions
+    (endpoints, priority, reservation arcs, capacity stages) — the inputs of
+    the schedule derivation and of the compiled capacity-shape analysis.
+    Guards and actions are deliberately excluded: the blueprints never
+    encode behaviour, only structure.  Building the signature is O(model
+    size), far cheaper than the analyses it validates.
+    """
+    stages = tuple(
+        (stage.name, stage.capacity, stage.delay) for stage in net.stages.values()
+    )
+    places = tuple(
+        (place.name, place.stage.name, place.delay) for place in net.places.values()
+    )
+    transitions = tuple(
+        (
+            transition.name,
+            transition.source.name if transition.source is not None else None,
+            transition.target_place.name if transition.target_place is not None else None,
+            transition.priority,
+            transition.consumes_token,
+            tuple((arc.place.name, arc.count) for arc in transition.reservation_inputs),
+            tuple((arc.place.name, arc.count) for arc in transition.reservation_outputs),
+            tuple(stage.name for stage in transition.capacity_stages),
+            transition.max_firings_per_cycle,
+        )
+        for transition in net.transitions
+    )
+    return (stages, places, transitions)
+
+
+class ScheduleBlueprint:
+    """A :class:`StaticSchedule` reduced to names (net-object free).
+
+    Blueprints are what :data:`SCHEDULE_CACHE` stores: place/transition
+    *names* instead of objects, so a blueprint derived from one build of a
+    spec can be rehydrated against any later build of the same spec.
+    """
+
+    __slots__ = ("place_order", "feedback_places", "dispatch", "generators", "signature")
+
+    def __init__(self, place_order, feedback_places, dispatch, generators, signature):
+        self.place_order = tuple(place_order)
+        self.feedback_places = frozenset(feedback_places)
+        #: ``(place_name, opclass) -> tuple of transition names``, or None.
+        self.dispatch = dispatch
+        self.generators = tuple(generators)
+        #: :func:`structure_signature` of the net the blueprint came from.
+        self.signature = signature
+
+
+class GenerationCache:
+    """Fingerprint-keyed cache of generation-time blueprints, with counters.
+
+    Used once for static-schedule blueprints (:data:`SCHEDULE_CACHE`) and
+    once for compiled-plan blueprints
+    (:data:`repro.compiled.plan.PLAN_CACHE`); both key by the spec content
+    hash so only identical declarative models share entries.  Entries are
+    evicted least-recently-used beyond ``max_entries`` so design-space
+    sweeps over thousands of spec variants cannot grow memory unboundedly.
+    """
+
+    def __init__(self, max_entries=256):
+        self._entries = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key):
+        blueprint = self._entries.get(key)
+        if blueprint is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            # Refresh recency (dicts iterate in insertion order).
+            self._entries[key] = self._entries.pop(key)
+        return blueprint
+
+    def store(self, key, blueprint):
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = blueprint
+
+    def clear(self):
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self):
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+
+#: Process-wide schedule cache keyed by (spec fingerprint, schedule options).
+SCHEDULE_CACHE = GenerationCache()
+
+
 class StaticSchedule:
-    """The result of the pre-simulation analysis, consumed by the engine."""
+    """The result of the pre-simulation analysis, consumed by the engine.
+
+    For nets elaborated from a spec (``net.spec_fingerprint`` set) the
+    analysis is served from :data:`SCHEDULE_CACHE` when an identical spec
+    was scheduled before; ``from_cache`` records which way this instance
+    was built.
+    """
 
     def __init__(self, net, use_sorted_transitions=True, two_list_everywhere=False):
         self.net = net
         self.use_sorted_transitions = use_sorted_transitions
+        fingerprint = getattr(net, "spec_fingerprint", None)
+        key = (
+            (fingerprint, use_sorted_transitions, two_list_everywhere)
+            if fingerprint is not None
+            else None
+        )
+        blueprint = SCHEDULE_CACHE.lookup(key) if key is not None else None
+        if blueprint is not None and not self._blueprint_matches(net, blueprint):
+            # The net does not have the structure the blueprint describes
+            # (someone mutated an elaborated net, or a mutated net poisoned
+            # the entry): re-derive and overwrite the cached blueprint.
+            blueprint = None
+        self.from_cache = blueprint is not None
+        if blueprint is not None:
+            self._rehydrate(net, blueprint, two_list_everywhere)
+        else:
+            self._derive(net, use_sorted_transitions, two_list_everywhere)
+            if key is not None:
+                transition_names = [t.name for t in net.transitions]
+                if len(set(transition_names)) == len(transition_names):
+                    SCHEDULE_CACHE.store(key, self._to_blueprint())
+        self.generator_transitions = (
+            [self._transition_by_name[name] for name in blueprint.generators]
+            if blueprint is not None
+            else net.generator_transitions()
+        )
+
+    @staticmethod
+    def _blueprint_matches(net, blueprint):
+        """Structural sanity check before rehydrating a blueprint.
+
+        The fingerprint describes the *spec*; if the net was mutated after
+        elaboration (extra transitions, changed priorities or capacities,
+        rewired arcs) rehydration would silently replay stale analysis.
+        Comparing :func:`structure_signature` catches every mutation the
+        blueprint encodes.
+        """
+        names = {t.name for t in net.transitions}
+        if len(names) != len(net.transitions):
+            return False
+        return structure_signature(net) == blueprint.signature
+
+    # -- fresh derivation ----------------------------------------------------
+    def _derive(self, net, use_sorted_transitions, two_list_everywhere):
         self.order = place_evaluation_order(net)
         feedback_places = mark_feedback_places(net, self.order)
         self.feedback_place_names = {p.name for p in feedback_places}
@@ -151,7 +306,47 @@ class StaticSchedule:
                     opclass: self.sorted_transitions[(place.name, opclass)]
                     for opclass in net.operation_classes
                 }
-        self.generator_transitions = net.generator_transitions()
+
+    def _to_blueprint(self):
+        dispatch = None
+        if self.sorted_transitions is not None:
+            dispatch = {
+                key: tuple(t.name for t in transitions)
+                for key, transitions in self.sorted_transitions.items()
+            }
+        return ScheduleBlueprint(
+            place_order=(place.name for place in self.order),
+            feedback_places=self.feedback_place_names,
+            dispatch=dispatch,
+            generators=(t.name for t in self.net.generator_transitions()),
+            signature=structure_signature(self.net),
+        )
+
+    # -- rehydration from a cached blueprint ---------------------------------
+    def _rehydrate(self, net, blueprint, two_list_everywhere):
+        places = net.places
+        by_name = {t.name: t for t in net.transitions}
+        self._transition_by_name = by_name
+        self.order = [places[name] for name in blueprint.place_order]
+        self.feedback_place_names = set(blueprint.feedback_places)
+        for place in places.values():
+            if two_list_everywhere or place.name in self.feedback_place_names:
+                place.two_list = True
+        self.two_list_places = [p for p in places.values() if p.two_list]
+        if blueprint.dispatch is None:
+            self.sorted_transitions = None
+            for place in places.values():
+                place.dispatch = None
+        else:
+            self.sorted_transitions = {
+                key: tuple(by_name[name] for name in names)
+                for key, names in blueprint.dispatch.items()
+            }
+            for place in places.values():
+                place.dispatch = {
+                    opclass: self.sorted_transitions[(place.name, opclass)]
+                    for opclass in net.operation_classes
+                }
 
     def transitions_for(self, place, opclass):
         """Candidate transitions for an instruction token, in priority order."""

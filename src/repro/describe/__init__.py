@@ -1,0 +1,53 @@
+"""Declarative pipeline-description layer.
+
+The paper's pitch is *generic* pipelined-processor modeling: a designer
+writes a compact description of the pipeline and the framework elaborates
+it into an RCPN and generates a fast cycle-accurate simulator.  This
+package is that description layer:
+
+* :mod:`repro.describe.spec` — the pure-data vocabulary
+  (:class:`PipelineSpec`, :class:`StageSpec`, :class:`OpClassPathSpec`,
+  :class:`TransitionSpec`, :class:`HazardSpec`, :class:`FetchSpec`,
+  :class:`PredictorSpec`) plus validation and a stable content
+  :meth:`~spec.PipelineSpec.fingerprint`;
+* :mod:`repro.describe.semantics` — the shared ARM guard/action hook
+  factories the specs reference by name;
+* :mod:`repro.describe.elaborate` — the elaborator turning a validated
+  spec into the same RCPN structures
+  :func:`repro.core.generator.generate_simulator` consumes.
+
+Every shipped processor model (``repro.processors``) is now a spec; see
+``repro/processors/variants.py`` for how little a new pipeline costs.
+"""
+
+from repro.describe.elaborate import elaborate, elaborate_net
+from repro.describe.semantics import ArmSemantics, Hook
+from repro.describe.spec import (
+    FetchSpec,
+    HazardSpec,
+    OpClassPathSpec,
+    PipelineSpec,
+    PlaceSpec,
+    PredictorSpec,
+    SpecError,
+    StageSpec,
+    TransitionSpec,
+    linear_path,
+)
+
+__all__ = [
+    "ArmSemantics",
+    "FetchSpec",
+    "HazardSpec",
+    "Hook",
+    "OpClassPathSpec",
+    "PipelineSpec",
+    "PlaceSpec",
+    "PredictorSpec",
+    "SpecError",
+    "StageSpec",
+    "TransitionSpec",
+    "elaborate",
+    "elaborate_net",
+    "linear_path",
+]

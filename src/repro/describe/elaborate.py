@@ -1,0 +1,137 @@
+"""Elaboration: turn a :class:`PipelineSpec` into an executable RCPN model.
+
+This is the bridge between the declarative layer and the simulator
+generator: :func:`elaborate` validates the spec, instantiates the shared
+ARM substrate (register files, operation classes, memory system, fetch
+control), builds every place and transition the spec describes — resolving
+hook names through :class:`~repro.describe.semantics.ArmSemantics` — and
+wraps the result in the familiar :class:`~repro.describe.substrate.Processor`
+facade.  The spec's :meth:`~repro.describe.spec.PipelineSpec.fingerprint`
+is stamped onto the net (``net.spec_fingerprint``) so the static-schedule
+and compiled-plan caches can recognise repeated builds of the same model.
+"""
+
+from __future__ import annotations
+
+from repro.describe.semantics import ArmSemantics
+from repro.describe.spec import PipelineSpec
+from repro.describe.substrate import (
+    Processor,
+    make_arm_model_parts,
+    make_decoder,
+    resolve_engine_options,
+)
+from repro.memory.branch_predictor import BranchTargetBuffer, StaticNotTakenPredictor
+
+
+def _build_predictor(spec, net):
+    kind = spec.predictor.kind
+    if kind is None:
+        return None
+    if kind == "static_not_taken":
+        predictor = StaticNotTakenPredictor()
+        net.add_unit(spec.predictor.unit_name or "predictor", predictor)
+    elif kind == "btb":
+        predictor = BranchTargetBuffer(entries=spec.predictor.btb_entries)
+        net.add_unit(spec.predictor.unit_name or "btb", predictor)
+    else:  # pragma: no cover - validate() rejects this earlier
+        raise ValueError("unknown predictor kind %r" % kind)
+    return predictor
+
+
+def elaborate_net(spec, memory_config=None, use_decode_cache=True, semantics_class=ArmSemantics):
+    """Elaborate ``spec`` into ``(net, decoder, core, memory, semantics)``.
+
+    The returned net is fully wired and validated-by-construction; callers
+    that want the usual facade should use :func:`elaborate` instead.
+    """
+    if not isinstance(spec, PipelineSpec):
+        raise TypeError("elaborate expects a PipelineSpec, got %r" % (spec,))
+    spec.validate()
+
+    net, context, core, memory = make_arm_model_parts(
+        spec.name, memory_config, operation_classes=spec.opclasses
+    )
+    predictor = _build_predictor(spec, net)
+
+    for stage in spec.stages:
+        net.add_stage(stage.name, capacity=stage.capacity, delay=stage.delay)
+
+    decoder = make_decoder(net, context, use_cache=use_decode_cache)
+    semantics = semantics_class(
+        spec, net=net, core=core, memory=memory, decoder=decoder, predictor=predictor
+    )
+
+    # -- instruction-independent sub-net: fetch ---------------------------
+    fetch_spec = spec.fetch
+    fetch_net = net.add_subnet(fetch_spec.subnet)
+    fetch_guard, fetch_action = semantics.fetch_hook(fetch_spec)
+    capacity_stage = fetch_spec.capacity_stage or spec.stages[0].name
+    net.add_transition(
+        fetch_spec.name,
+        fetch_net,
+        guard=fetch_guard,
+        action=fetch_action,
+        capacity_stages=[capacity_stage],
+    )
+
+    # -- one sub-net per operation-class path -----------------------------
+    for path in spec.paths:
+        subnet = net.add_subnet(path.subnet_name, opclasses=(path.opclass,))
+        places = {}
+        for index, stage in enumerate(path.stages):
+            places[stage] = net.add_place(stage, subnet, entry=(index == 0))
+        places["end"] = net.add_place("end", subnet)
+        for extra in path.extra_places:
+            places[extra.key] = net.add_place(extra.stage, subnet, name=extra.name)
+        for tspec in path.transitions:
+            guard, action = semantics.resolve(tspec.hooks)
+            net.add_transition(
+                tspec.name,
+                subnet,
+                source=places[tspec.source],
+                target=places[tspec.target],
+                guard=guard,
+                action=action,
+                priority=tspec.priority,
+                produces=[places[key] for key in tspec.produces],
+                consumes=[places[key] for key in tspec.consumes],
+            )
+
+    fingerprint = spec.fingerprint()
+    if semantics_class is not ArmSemantics:
+        # Custom semantics change behaviour without changing the spec text;
+        # keep their cache entries separate.
+        fingerprint = "%s:%s.%s" % (
+            fingerprint,
+            semantics_class.__module__,
+            semantics_class.__qualname__,
+        )
+    net.spec_fingerprint = fingerprint
+    net.spec = spec
+    return net, decoder, core, memory, semantics
+
+
+def elaborate(
+    spec,
+    memory_config=None,
+    engine_options=None,
+    use_decode_cache=True,
+    backend=None,
+    semantics_class=ArmSemantics,
+):
+    """Elaborate ``spec`` and generate its cycle-accurate simulator.
+
+    Returns a :class:`~repro.describe.substrate.Processor`; ``backend``
+    selects the engine ("interpreted"/"compiled"), overriding
+    ``engine_options.backend`` when given — the same contract as the
+    hand-written model builders it replaces.
+    """
+    net, decoder, core, memory, _ = elaborate_net(
+        spec,
+        memory_config=memory_config,
+        use_decode_cache=use_decode_cache,
+        semantics_class=semantics_class,
+    )
+    options = resolve_engine_options(engine_options, backend)
+    return Processor(net, decoder, core, memory, engine_options=options)

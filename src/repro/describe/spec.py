@@ -1,0 +1,349 @@
+"""Declarative pipeline descriptions (the paper's "compact model" layer).
+
+A :class:`PipelineSpec` is a pure-data description of a pipelined processor:
+its stages, the per-operation-class paths through them, the hazard/bypass
+configuration, the fetch discipline and the branch predictor.  The spec
+carries *no* callables — transition behaviour is referenced by hook name and
+resolved against :class:`repro.describe.semantics.ArmSemantics` (or a
+user-supplied subclass) when :func:`repro.describe.elaborate.elaborate`
+turns the spec into an executable RCPN.
+
+Because a spec is plain data it can be validated before elaboration
+(:meth:`PipelineSpec.validate`) and hashed into a stable
+:meth:`PipelineSpec.fingerprint` that keys the simulator-generation caches
+(:mod:`repro.core.scheduler`, :mod:`repro.compiled.plan`): rebuilding the
+same spec reuses the static analysis of the first build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+
+class SpecError(ValueError):
+    """A pipeline description is inconsistent (bad stage/hook/place reference)."""
+
+
+def _tuple(value):
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return (value,)
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage (latch / buffer): its capacity and residence delay."""
+
+    name: str
+    capacity: int = 1
+    delay: int = 1
+
+
+@dataclass(frozen=True)
+class PlaceSpec:
+    """An extra place inside one sub-net (e.g. a branch-stall latch).
+
+    ``key`` is how the path's transitions refer to it (``produces`` /
+    ``consumes`` / ``source`` / ``target``); ``stage`` is the pipeline stage
+    the place belongs to; ``name`` overrides the default
+    ``<subnet>.<stage>`` place name.
+    """
+
+    key: str
+    stage: str
+    name: str = None
+
+
+@dataclass(frozen=True)
+class TransitionSpec:
+    """One transition of an operation-class path.
+
+    ``source`` and ``target`` are stage names, extra-place keys or the
+    literal ``"end"``.  ``hooks`` names the guard/action factories (resolved
+    by the semantics object); at most one hook may contribute a guard, and
+    all hook actions are chained in order.
+    """
+
+    name: str
+    source: str
+    target: str
+    hooks: tuple = ()
+    priority: int = 0
+    produces: tuple = ()
+    consumes: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "hooks", _tuple(self.hooks))
+        object.__setattr__(self, "produces", _tuple(self.produces))
+        object.__setattr__(self, "consumes", _tuple(self.consumes))
+
+
+@dataclass(frozen=True)
+class OpClassPathSpec:
+    """The path one operation class takes through the pipeline.
+
+    ``stages`` is the ordered tuple of stage names the instruction token
+    passes through; the first stage's place is the sub-net's entry place and
+    a final ``end`` place is always appended.  ``transitions`` lists the
+    edges (usually built with :func:`linear_path`).
+    """
+
+    opclass: str
+    stages: tuple
+    transitions: tuple
+    extra_places: tuple = ()
+    subnet: str = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "stages", _tuple(self.stages))
+        object.__setattr__(self, "transitions", tuple(self.transitions))
+        object.__setattr__(self, "extra_places", tuple(self.extra_places))
+
+    @property
+    def subnet_name(self):
+        return self.subnet or self.opclass
+
+
+@dataclass(frozen=True)
+class HazardSpec:
+    """Data-hazard and control-hazard configuration.
+
+    The RegRef reservation protocol assumes in-order issue at a single
+    pipeline depth: every path's issue/resolve hook should attach at the
+    same distance from fetch (as in all shipped models), otherwise a young
+    instruction can read registers or flags before a *stalled* older writer
+    has reserved them.
+
+    * ``forward_states`` — pipeline states whose pending results the bypass
+      network may forward to the issue stage;
+    * ``front_flush_stages`` — stages squashed when the front end is
+      redirected at resolution time (taken branch / misprediction / halt);
+    * ``redirect_flush_stages`` — stages squashed when the PC is written
+      deep in the pipe (load-to-PC and friends);
+    * ``s1_forward_state`` — the paper's Figure 5 restricted bypass: only
+      the first ALU source may forward, and only from this state.
+    """
+
+    forward_states: tuple = ()
+    front_flush_stages: tuple = ()
+    redirect_flush_stages: tuple = ()
+    s1_forward_state: str = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "forward_states", _tuple(self.forward_states))
+        object.__setattr__(self, "front_flush_stages", _tuple(self.front_flush_stages))
+        object.__setattr__(
+            self, "redirect_flush_stages", _tuple(self.redirect_flush_stages)
+        )
+
+
+@dataclass(frozen=True)
+class FetchSpec:
+    """The instruction-independent fetch sub-net.
+
+    ``style`` selects the fetch discipline:
+
+    * ``"sequential"`` — fetch the next sequential word each cycle
+      (optionally gated on ``stall_stage`` being empty, the StrongARM /
+      Figure 5 reservation-token stall);
+    * ``"btb"`` — look the PC up in the branch target buffer and follow the
+      predicted target (XScale).
+    """
+
+    style: str = "sequential"
+    capacity_stage: str = None
+    stall_stage: str = None
+    subnet: str = "fetch"
+    name: str = "fetch"
+
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """The branch predictor unit attached to the model (if any)."""
+
+    kind: str = None  # None | "static_not_taken" | "btb"
+    unit_name: str = None
+    btb_entries: int = 128
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A complete declarative pipeline description."""
+
+    name: str
+    stages: tuple
+    paths: tuple
+    hazards: HazardSpec = field(default_factory=HazardSpec)
+    fetch: FetchSpec = field(default_factory=FetchSpec)
+    predictor: PredictorSpec = field(default_factory=PredictorSpec)
+    description: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "stages", tuple(self.stages))
+        object.__setattr__(self, "paths", tuple(self.paths))
+
+    # -- convenience queries -------------------------------------------------
+    @property
+    def opclasses(self):
+        return tuple(path.opclass for path in self.paths)
+
+    def stage_names(self):
+        return tuple(stage.name for stage in self.stages)
+
+    def path(self, opclass):
+        for path in self.paths:
+            if path.opclass == opclass:
+                return path
+        raise SpecError("spec %r has no path for operation class %r" % (self.name, opclass))
+
+    # -- validation ----------------------------------------------------------
+    def validate(self):
+        """Check internal consistency; raises :class:`SpecError` on problems."""
+        problems = []
+        stage_names = self.stage_names()
+        if len(set(stage_names)) != len(stage_names):
+            problems.append("duplicate stage names")
+        if not self.paths:
+            problems.append("spec declares no operation-class paths")
+
+        seen_opclasses = set()
+        seen_subnets = {self.fetch.subnet}
+        # Transition names must be globally unique (they key the statistics
+        # counters and the fingerprint-keyed generation caches); the fetch
+        # transition's name is taken before any path is examined.
+        seen_transitions = {self.fetch.name}
+        for path in self.paths:
+            if path.opclass in seen_opclasses:
+                problems.append("duplicate path for operation class %r" % path.opclass)
+            seen_opclasses.add(path.opclass)
+            if path.subnet_name in seen_subnets:
+                problems.append("duplicate sub-net name %r" % path.subnet_name)
+            seen_subnets.add(path.subnet_name)
+            if not path.stages:
+                problems.append("path %r has no stages" % path.opclass)
+            keys = set(path.stages) | {"end"}
+            for stage in path.stages:
+                if stage not in stage_names:
+                    problems.append(
+                        "path %r uses unknown stage %r" % (path.opclass, stage)
+                    )
+            for extra in path.extra_places:
+                if extra.stage not in stage_names:
+                    problems.append(
+                        "extra place %r of path %r uses unknown stage %r"
+                        % (extra.key, path.opclass, extra.stage)
+                    )
+                if extra.key in keys:
+                    problems.append(
+                        "extra place key %r of path %r collides with a stage"
+                        % (extra.key, path.opclass)
+                    )
+                keys.add(extra.key)
+            for transition in path.transitions:
+                if transition.name in seen_transitions:
+                    problems.append("duplicate transition name %r" % transition.name)
+                seen_transitions.add(transition.name)
+                for ref in (
+                    (transition.source, transition.target)
+                    + transition.produces
+                    + transition.consumes
+                ):
+                    if ref not in keys:
+                        problems.append(
+                            "transition %r references unknown place %r"
+                            % (transition.name, ref)
+                        )
+
+        for stage in self.hazards.front_flush_stages + self.hazards.redirect_flush_stages:
+            if stage not in stage_names:
+                problems.append("flush stage %r is not a declared stage" % stage)
+        for stage in self.hazards.forward_states:
+            # A typo here would not fail at elaboration: can_read(state)
+            # simply never matches and the bypass network silently vanishes.
+            if stage not in stage_names:
+                problems.append("forward state %r is not a declared stage" % stage)
+        if (
+            self.hazards.s1_forward_state is not None
+            and self.hazards.s1_forward_state not in stage_names
+        ):
+            problems.append(
+                "s1 forward state %r is not a declared stage" % self.hazards.s1_forward_state
+            )
+        hooks_used = {
+            hook
+            for path in self.paths
+            for transition in path.transitions
+            for hook in transition.hooks
+        }
+        if "branch.resolve" in hooks_used and self.predictor.kind != "btb":
+            problems.append(
+                'the "branch.resolve" hook resolves against a branch target '
+                'buffer; declare PredictorSpec(kind="btb")'
+            )
+        if self.fetch.style not in ("sequential", "btb"):
+            problems.append("unknown fetch style %r" % self.fetch.style)
+        if self.fetch.style == "btb" and self.predictor.kind != "btb":
+            problems.append('fetch style "btb" requires predictor kind "btb"')
+        if self.fetch.capacity_stage and self.fetch.capacity_stage not in stage_names:
+            problems.append("fetch capacity stage %r is not declared" % self.fetch.capacity_stage)
+        if self.fetch.stall_stage and self.fetch.stall_stage not in stage_names:
+            problems.append("fetch stall stage %r is not declared" % self.fetch.stall_stage)
+        if self.predictor.kind not in (None, "static_not_taken", "btb"):
+            problems.append("unknown predictor kind %r" % self.predictor.kind)
+
+        if problems:
+            raise SpecError(
+                "invalid pipeline spec %r:\n  - %s" % (self.name, "\n  - ".join(problems))
+            )
+        return True
+
+    # -- identity ------------------------------------------------------------
+    def describe(self):
+        """The spec as plain nested data (the canonical form that is hashed)."""
+        return asdict(self)
+
+    def fingerprint(self):
+        """Stable content hash of the description.
+
+        Two specs share a fingerprint exactly when their declarative content
+        is identical, so the hash can key caches of structure-derived
+        artefacts (static schedules, compiled-plan blueprints) across
+        repeated elaborations of the same model.
+        """
+        canonical = json.dumps(self.describe(), sort_keys=True, default=str)
+        return hashlib.sha256(("rcpn-spec-v1:" + canonical).encode("utf-8")).hexdigest()
+
+
+def linear_path(opclass, stages, hooks=None, names=None, subnet=None):
+    """Build an :class:`OpClassPathSpec` whose transitions form a linear chain.
+
+    ``hooks`` maps a destination (stage name or ``"end"``) to the hook name
+    (or tuple of hook names) attached to the transition entering it;
+    ``names`` overrides per-destination transition names.  The default name
+    is ``<subnet>.<source>_<destination>`` (the XScale naming idiom).
+    """
+    subnet_name = subnet or opclass
+    hooks = hooks or {}
+    names = names or {}
+    stages = _tuple(stages)
+    transitions = []
+    route = list(stages) + ["end"]
+    for source, destination in zip(route, route[1:]):
+        transitions.append(
+            TransitionSpec(
+                name=names.get(destination) or "%s.%s_%s" % (subnet_name, source, destination),
+                source=source,
+                target=destination,
+                hooks=hooks.get(destination, ()),
+            )
+        )
+    return OpClassPathSpec(
+        opclass=opclass,
+        stages=stages,
+        transitions=tuple(transitions),
+        subnet=subnet_name,
+    )

@@ -9,7 +9,7 @@ correctness of data comes from the functional memory image.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""RCPN processor models.
+"""RCPN processor models, defined as declarative pipeline specs.
 
 * :mod:`repro.processors.example` — the paper's Figure 4/5 representative
   out-of-order-completion processor with a feedback (bypass) path; the
@@ -8,29 +8,54 @@
 * :mod:`repro.processors.xscale` — the Intel XScale seven-stage pipeline
   (Figure 9): in-order issue, out-of-order completion across the X/D/M
   pipes, BTB branch prediction.
+* :mod:`repro.processors.variants` — spec-defined variants (a three-stage
+  ``arm7-mini``, a deepened ``xscale-deep``) showing how cheap a new
+  pipeline is once the description layer does the wiring.
 
-All models build an :class:`repro.core.RCPN` and are wrapped in a
-:class:`repro.processors.common.Processor` facade that knows how to load a
-program, run the generated simulator and report statistics.
+Each model is a :class:`repro.describe.PipelineSpec` elaborated by
+:mod:`repro.describe` into an :class:`repro.core.RCPN` and wrapped in the
+:class:`~repro.describe.substrate.Processor` facade that knows how to load
+a program, run the generated simulator and report statistics.  The
+:mod:`repro.processors.registry` names them all: use
+``build_processor("xscale", backend="compiled")`` instead of importing
+builders one by one.
 """
 
-from repro.processors.common import Processor, ProcessorCore
-from repro.processors.example import build_example_processor
-from repro.processors.strongarm import build_strongarm_processor
-from repro.processors.xscale import build_xscale_processor
+from repro.describe.substrate import Processor, ProcessorCore
+from repro.processors.example import build_example_processor, example_spec
+from repro.processors.registry import (
+    ProcessorEntry,
+    build_processor,
+    get_entry,
+    get_spec,
+    processor_names,
+    register_processor,
+    supported_kernels,
+)
+from repro.processors.strongarm import build_strongarm_processor, strongarm_spec
+from repro.processors.variants import arm7_mini_spec, xscale_deep_spec
+from repro.processors.xscale import build_xscale_processor, xscale_spec
 
-#: Model builders by name, used by the benchmark harness.
-MODEL_BUILDERS = {
-    "example": build_example_processor,
-    "strongarm": build_strongarm_processor,
-    "xscale": build_xscale_processor,
-}
+#: Model builders by name (legacy alias; prefer the registry functions).
+MODEL_BUILDERS = {name: get_entry(name).builder for name in processor_names()}
 
 __all__ = [
+    "MODEL_BUILDERS",
     "Processor",
     "ProcessorCore",
+    "ProcessorEntry",
+    "arm7_mini_spec",
     "build_example_processor",
+    "build_processor",
     "build_strongarm_processor",
     "build_xscale_processor",
-    "MODEL_BUILDERS",
+    "example_spec",
+    "get_entry",
+    "get_spec",
+    "processor_names",
+    "register_processor",
+    "strongarm_spec",
+    "supported_kernels",
+    "xscale_deep_spec",
+    "xscale_spec",
 ]

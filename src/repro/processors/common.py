@@ -1,563 +1,51 @@
-"""Shared infrastructure of the RCPN processor models.
+"""Backward-compatibility shim.
 
-This module provides what every ARM7-family model needs:
-
-* :class:`ProcessorCore` — the non-pipeline "fetch control" unit holding the
-  fetch program counter and halt state;
-* flag packing helpers (the CPSR is modeled as a one-entry register file so
-  that flag hazards go through the same RegRef protocol as data hazards);
-* operand-readiness helpers combining ``can_read()`` with the forwarding
-  interfaces ``can_read(state)`` / ``read(state)``;
-* the six ARM operation classes (alu, mul, mem, memm, branch, system) and
-  their symbol binders;
-* the :class:`Processor` facade that wires a model, its decoder and the
-  generated simulation engine together.
+The shared ARM model substrate moved to :mod:`repro.describe.substrate`
+when the declarative description layer was introduced (the substrate sits
+*below* the spec/semantics/elaborator stack, and keeping it under
+``repro.processors`` created an import cycle).  Import from
+``repro.describe.substrate`` in new code; this module re-exports the public
+names so existing imports keep working.
 """
 
-from __future__ import annotations
-
-from dataclasses import replace
-
-from repro.core.decoder import InstructionDecoder
-from repro.core.engine import EngineOptions
-from repro.core.generator import generate_simulator
-from repro.core.operands import Const, RegRef
-from repro.core.operation_class import DecodeContext, OperationClass, SymbolKind
-from repro.isa.alu import alu_operate, apply_shift, multiply, multiply_early_termination_cycles
-from repro.isa.conditions import Condition, condition_passes
-from repro.isa.encoding import decode as isa_decode
-from repro.isa.flags import ConditionFlags
-from repro.isa.instructions import (
-    Branch,
-    DataOpcode,
-    DataProcessing,
-    LoadStore,
-    LoadStoreMultiple,
-    Multiply,
-    System,
-    SystemOp,
-)
-from repro.isa.registers import LR, NUM_REGISTERS, PC
-from repro.memory.memory_system import MemorySystem
-
-
-# ---------------------------------------------------------------------------
-# Flags packing
-# ---------------------------------------------------------------------------
-
-def pack_flags(n, z, c, v):
-    """Pack the four condition flags into an integer nibble (N Z C V)."""
-    return (8 if n else 0) | (4 if z else 0) | (2 if c else 0) | (1 if v else 0)
-
-
-def unpack_flags(value):
-    """Unpack a flags nibble into a :class:`ConditionFlags` object."""
-    value = int(value or 0)
-    return ConditionFlags(n=bool(value & 8), z=bool(value & 4), c=bool(value & 2), v=bool(value & 1))
-
-
-# ---------------------------------------------------------------------------
-# Fetch-control unit
-# ---------------------------------------------------------------------------
-
-class ProcessorCore:
-    """Non-pipeline unit owning the fetch PC and the halt state.
-
-    RCPN transitions reference it exactly like they reference the memory
-    system or the branch predictor (paper Section 3: "A transition can
-    directly reference non-pipeline units").
-    """
-
-    def __init__(self):
-        self.fetch_pc = 0
-        self.halted = False
-        self.sequence = 0  # fetch order, stamped into token annotations
-
-    def reset(self, entry=0):
-        self.fetch_pc = entry
-        self.halted = False
-        self.sequence = 0
-
-    def next_fetch(self):
-        """Return the current fetch address and advance it sequentially."""
-        pc = self.fetch_pc
-        self.fetch_pc = (pc + 4) & 0xFFFFFFFF
-        self.sequence += 1
-        return pc
-
-    def redirect(self, target):
-        """Redirect fetching (taken branch / misprediction recovery)."""
-        self.fetch_pc = target & 0xFFFFFFFF
-
-    def halt(self):
-        self.halted = True
-
-
-# ---------------------------------------------------------------------------
-# Operand readiness with forwarding
-# ---------------------------------------------------------------------------
-
-def operand_ready(operand, forward_states=()):
-    """True when an operand can be obtained now.
-
-    Either the architectural register is free of pending writers
-    (``can_read()``) or the pending writer currently resides in one of the
-    ``forward_states`` *and* has already produced its value (the bypass
-    network has something to forward).
-    """
-    if operand.can_read():
-        return True
-    for state in forward_states:
-        if operand.can_read(state):
-            writer = operand.register.writer
-            if writer is not None and writer.has_value:
-                return True
-    return False
-
-
-def operand_read(operand, forward_states=()):
-    """Latch an operand value, using the bypass path when necessary."""
-    if operand.can_read():
-        return operand.read()
-    for state in forward_states:
-        if operand.can_read(state):
-            writer = operand.register.writer
-            if writer is not None and writer.has_value:
-                return operand.read(state)
-    raise RuntimeError(
-        "operand %r was read although operand_ready() is false; "
-        "guard the transition with operand_ready()" % (operand,)
-    )
-
-
-def operands_ready(operands, forward_states=()):
-    """Readiness of a collection of operands."""
-    return all(operand_ready(op, forward_states) for op in operands)
-
-
-# ---------------------------------------------------------------------------
-# ARM operation classes
-# ---------------------------------------------------------------------------
-
-class ArmDecodeContext(DecodeContext):
-    """Decode context exposing the GPR and CPSR register objects."""
-
-    def __init__(self, gpr_registers, cpsr_register, units=None):
-        super().__init__(registers=gpr_registers, units=units)
-        self.cpsr = cpsr_register
-
-    def gpr(self, index):
-        return self.registers[index]
-
-
-def _reads_flags(instr):
-    if instr.cond != Condition.AL:
-        return True
-    if isinstance(instr, DataProcessing):
-        return instr.opcode in (DataOpcode.ADC, DataOpcode.SBC, DataOpcode.RSC)
-    return False
-
-
-def _writes_flags(instr):
-    if isinstance(instr, DataProcessing):
-        return instr.set_flags or not instr.opcode.writes_rd
-    if isinstance(instr, Multiply):
-        return instr.set_flags
-    return False
-
-
-def _bind_alu(instr, context):
-    op2 = instr.operand2
-    if op2.is_immediate:
-        s2 = Const(op2.immediate_value)
-        shift_type, shift_amount = None, 0
-    else:
-        s2 = RegRef(context.gpr(op2.rm))
-        shift_type, shift_amount = op2.shift_type, op2.shift_amount
-    return {
-        "op": instr.opcode,
-        "d": RegRef(context.gpr(instr.rd)) if instr.opcode.writes_rd else Const(0),
-        "s1": RegRef(context.gpr(instr.rn)) if instr.opcode.uses_rn else Const(0),
-        "s2": s2,
-        "shift_type": shift_type,
-        "shift_amount": shift_amount,
-        "set_flags": instr.set_flags or not instr.opcode.writes_rd,
-        "cond": instr.cond,
-        # Flag writers also read the previous flags so the shifter carry-in
-        # and the preserved V bit of logical operations are modeled exactly.
-        "reads_flags": _reads_flags(instr) or _writes_flags(instr),
-        "writes_flags": _writes_flags(instr),
-        "fl": RegRef(context.cpsr),
-        "writes_pc": instr.opcode.writes_rd and instr.rd == PC,
-    }
-
-
-def _bind_mul(instr, context):
-    return {
-        "d": RegRef(context.gpr(instr.rd)),
-        "s1": RegRef(context.gpr(instr.rm)),
-        "s2": RegRef(context.gpr(instr.rs)),
-        "acc": RegRef(context.gpr(instr.rn)) if instr.accumulate else Const(0),
-        "accumulate": instr.accumulate,
-        "set_flags": instr.set_flags,
-        "cond": instr.cond,
-        "reads_flags": _reads_flags(instr) or _writes_flags(instr),
-        "writes_flags": _writes_flags(instr),
-        "fl": RegRef(context.cpsr),
-        "writes_pc": False,
-    }
-
-
-def _bind_mem(instr, context):
-    if instr.has_register_offset:
-        offset = RegRef(context.gpr(instr.offset_register))
-        shift_type, shift_amount = instr.shift_type, instr.shift_amount
-    else:
-        offset = Const(instr.offset_immediate or 0)
-        shift_type, shift_amount = None, 0
-    return {
-        "L": instr.load,
-        "byte": instr.byte,
-        "r": RegRef(context.gpr(instr.rd)),
-        "base": RegRef(context.gpr(instr.rn)),
-        "offset": offset,
-        "shift_type": shift_type,
-        "shift_amount": shift_amount,
-        "pre_index": instr.pre_index,
-        "up": instr.up,
-        "updates_base": instr.writeback or not instr.pre_index,
-        "cond": instr.cond,
-        "reads_flags": _reads_flags(instr),
-        "writes_flags": False,
-        "fl": RegRef(context.cpsr),
-        "writes_pc": instr.load and instr.rd == PC,
-    }
-
-
-def _bind_memm(instr, context):
-    return {
-        "L": instr.load,
-        "base": RegRef(context.gpr(instr.rn)),
-        "regs": [RegRef(context.gpr(r)) for r in sorted(instr.register_list)],
-        "reg_indices": tuple(sorted(instr.register_list)),
-        "updates_base": instr.writeback,
-        "before": instr.before,
-        "up": instr.up,
-        "cond": instr.cond,
-        "reads_flags": _reads_flags(instr),
-        "writes_flags": False,
-        "fl": RegRef(context.cpsr),
-        "writes_pc": instr.load and PC in instr.register_list,
-    }
-
-
-def _bind_branch(instr, context):
-    return {
-        "offset": Const(instr.offset),
-        "link": instr.link,
-        "lr": RegRef(context.gpr(LR)) if instr.link else Const(0),
-        "cond": instr.cond,
-        "reads_flags": _reads_flags(instr),
-        "writes_flags": False,
-        "fl": RegRef(context.cpsr),
-    }
-
-
-def _bind_system(instr, context):
-    return {
-        "op": instr.op,
-        "imm": instr.imm,
-        "cond": instr.cond,
-        "reads_flags": _reads_flags(instr),
-        "writes_flags": False,
-        "fl": RegRef(context.cpsr),
-    }
-
-
-def arm_operation_classes():
-    """The six ARM operation classes used by the StrongARM and XScale models."""
-    return [
-        OperationClass(
-            "alu",
-            symbols={
-                "op": SymbolKind.MICRO_OPERATION,
-                "d": SymbolKind.REGISTER_OR_CONSTANT,
-                "s1": SymbolKind.REGISTER_OR_CONSTANT,
-                "s2": SymbolKind.REGISTER_OR_CONSTANT,
-                "fl": SymbolKind.REGISTER,
-            },
-            binder=_bind_alu,
-            description="data-processing instructions executed by the ALU",
-        ),
-        OperationClass(
-            "mul",
-            symbols={
-                "d": SymbolKind.REGISTER,
-                "s1": SymbolKind.REGISTER,
-                "s2": SymbolKind.REGISTER,
-                "acc": SymbolKind.REGISTER_OR_CONSTANT,
-                "fl": SymbolKind.REGISTER,
-            },
-            binder=_bind_mul,
-            description="multiply / multiply-accumulate instructions",
-        ),
-        OperationClass(
-            "mem",
-            symbols={
-                "L": SymbolKind.VALUE,
-                "r": SymbolKind.REGISTER,
-                "base": SymbolKind.REGISTER,
-                "offset": SymbolKind.REGISTER_OR_CONSTANT,
-                "fl": SymbolKind.REGISTER,
-            },
-            binder=_bind_mem,
-            description="single-word/byte loads and stores",
-        ),
-        OperationClass(
-            "memm",
-            symbols={
-                "L": SymbolKind.VALUE,
-                "base": SymbolKind.REGISTER,
-                "regs": SymbolKind.REGISTER,
-                "fl": SymbolKind.REGISTER,
-            },
-            binder=_bind_memm,
-            description="block transfers (LDM/STM)",
-        ),
-        OperationClass(
-            "branch",
-            symbols={
-                "offset": SymbolKind.CONSTANT,
-                "lr": SymbolKind.REGISTER_OR_CONSTANT,
-                "fl": SymbolKind.REGISTER,
-            },
-            binder=_bind_branch,
-            description="PC-relative branches (B/BL)",
-        ),
-        OperationClass(
-            "system",
-            symbols={
-                "op": SymbolKind.VALUE,
-                "imm": SymbolKind.VALUE,
-                "fl": SymbolKind.REGISTER,
-            },
-            binder=_bind_system,
-            description="software interrupts, halt and no-op",
-        ),
-    ]
-
-
-# ---------------------------------------------------------------------------
-# Shared per-class behaviour helpers (used inside transition actions)
-# ---------------------------------------------------------------------------
-
-def condition_holds(token, forward_states=()):
-    """Evaluate the token's condition code, reading flags if needed."""
-    if not token.reads_flags:
-        return True
-    flags_value = operand_read(token.fl, forward_states)
-    return condition_passes(token.cond, unpack_flags(flags_value))
-
-
-def token_flags_ready(token, forward_states=()):
-    if not token.reads_flags:
-        return True
-    return operand_ready(token.fl, forward_states)
-
-
-_LOGICAL_OPCODES = frozenset(
-    (
-        DataOpcode.AND,
-        DataOpcode.EOR,
-        DataOpcode.TST,
-        DataOpcode.TEQ,
-        DataOpcode.ORR,
-        DataOpcode.MOV,
-        DataOpcode.BIC,
-        DataOpcode.MVN,
-    )
+from repro.describe.substrate import (
+    ArmDecodeContext,
+    Processor,
+    ProcessorCore,
+    arm_operation_classes,
+    block_transfer_addresses,
+    compute_alu,
+    compute_memory_address,
+    compute_multiply,
+    condition_holds,
+    make_arm_model_parts,
+    make_decoder,
+    operand_read,
+    operand_ready,
+    operands_ready,
+    pack_flags,
+    resolve_engine_options,
+    token_flags_ready,
+    unpack_flags,
 )
 
-
-def compute_alu(token):
-    """Compute an ALU token's result and flags from its latched operands.
-
-    Returns ``(result_or_None, flags_nibble_or_None)``.  Flag-setting ALU
-    tokens always read the previous flags (the binder forces
-    ``reads_flags``), so the carry-in and the preserved overflow bit are
-    available here.
-    """
-    previous = unpack_flags(token.fl.value) if token.reads_flags else ConditionFlags()
-    carry_in = previous.c
-    s1 = token.s1.value or 0
-    s2 = token.s2.value or 0
-    shifter_carry = carry_in
-    if token.shift_type is not None:
-        s2, shifter_carry = apply_shift(s2, token.shift_type, token.shift_amount, carry_in)
-    result, n, z, c, v, writes = alu_operate(token.op, s1, s2, carry_in)
-    flags = None
-    if token.set_flags or not writes:
-        is_logical = token.op in _LOGICAL_OPCODES
-        carry_flag = shifter_carry if is_logical else c
-        overflow = previous.v if is_logical else v
-        flags = pack_flags(n, z, carry_flag, overflow)
-    return (result if writes else None), flags
-
-
-def compute_multiply(token):
-    """Compute a multiply token's result; returns (result, flags_or_None, cycles)."""
-    accumulator = token.acc.value if not isinstance(token.acc, Const) else 0
-    result = multiply(token.s1.value or 0, token.s2.value or 0, accumulator or 0)
-    cycles = multiply_early_termination_cycles(token.s2.value or 0)
-    flags = None
-    if token.set_flags:
-        previous = unpack_flags(token.fl.value) if token.reads_flags else ConditionFlags()
-        flags = pack_flags(bool(result & 0x80000000), result == 0, previous.c, previous.v)
-    return result, flags, cycles
-
-
-def compute_memory_address(token, carry_in=False):
-    """Effective address and updated base of a load/store token."""
-    base = token.base.value or 0
-    offset = token.offset.value or 0
-    if token.shift_type is not None:
-        offset, _ = apply_shift(offset, token.shift_type, token.shift_amount, carry_in)
-    signed = offset if token.up else -offset
-    updated = (base + signed) & 0xFFFFFFFF
-    effective = updated if token.pre_index else base
-    return effective, updated
-
-
-def block_transfer_addresses(token):
-    """Word addresses touched by a block transfer and the updated base."""
-    count = len(token.reg_indices)
-    base = token.base.value or 0
-    if token.up:
-        start = base + (4 if token.before else 0)
-        new_base = base + 4 * count
-    else:
-        start = base - 4 * count + (0 if token.before else 4)
-        new_base = base - 4 * count
-    addresses = [(start + 4 * i) & 0xFFFFFFFF for i in range(count)]
-    return addresses, new_base & 0xFFFFFFFF
-
-
-# ---------------------------------------------------------------------------
-# Processor facade
-# ---------------------------------------------------------------------------
-
-def resolve_engine_options(engine_options, backend=None):
-    """Merge a builder's ``engine_options`` and ``backend`` arguments.
-
-    Every model builder accepts both an :class:`EngineOptions` object and a
-    ``backend`` shortcut string (``"interpreted"`` / ``"compiled"``); the
-    shortcut, when given, overrides the backend recorded in the options.
-    The caller's options object is never mutated.
-    """
-    options = engine_options or EngineOptions()
-    if backend is not None and backend != options.backend:
-        options = replace(options, backend=backend)
-    return options
-
-
-class Processor:
-    """A complete generated simulator: model + decoder + engine + memory.
-
-    Model builders return instances of this class; users interact with it
-    exactly like with the fixed baseline simulator (``load_program``,
-    ``run``, ``register`` ...), which is what the cross-validation tests and
-    the benchmark harness rely on.  The engine is produced by
-    :func:`repro.core.generator.generate_simulator` and may be either
-    backend; ``processor.backend`` reports which one.
-    """
-
-    def __init__(self, net, decoder, core, memory, engine_options=None):
-        self.net = net
-        self.decoder = decoder
-        self.core = core
-        self.memory = memory
-        self.engine, self.generation_report = generate_simulator(
-            net, options=engine_options or EngineOptions()
-        )
-
-    @property
-    def backend(self):
-        """Execution strategy of the generated engine ("interpreted"/"compiled")."""
-        return self.engine.backend
-
-    @property
-    def stats(self):
-        return self.engine.stats
-
-    def load_program(self, program):
-        self.memory.load_program(program)
-        self.core.reset(entry=program.entry)
-
-    def run(self, max_cycles=None, max_instructions=None):
-        return self.engine.run(max_cycles=max_cycles, max_instructions=max_instructions)
-
-    def reset(self):
-        """Reset every piece of dynamic state for a bit-reproducible re-run.
-
-        Engine state, cache contents/statistics and learned predictor/BTB
-        state are cleared; the generated engine (including the compiled
-        plan, when the compiled backend is selected) is kept.  Call
-        :meth:`load_program` afterwards to restore the program image and
-        the fetch PC.
-        """
-        self.engine.reset()
-        self.memory.reset_statistics()
-        for unit in self.net.units.values():
-            if unit is self.memory or unit is self.core:
-                continue  # handled above / by load_program
-            reset = getattr(unit, "reset", None)
-            if callable(reset):
-                reset()
-
-    def register(self, index):
-        """Architectural value of general-purpose register ``index``."""
-        return self.net.register_files["gpr"].data[index]
-
-    def flags(self):
-        return unpack_flags(self.net.register_files["cpsr"].data[0])
-
-    def cache_statistics(self):
-        return self.memory.statistics()
-
-    def complexity(self):
-        return self.net.complexity()
-
-
-def make_arm_model_parts(name, memory_config=None, operation_classes=None):
-    """Common skeleton shared by the ARM-family models.
-
-    Returns ``(net, context, core, memory)`` with the GPR/CPSR register
-    files, the ARM operation classes, the memory system and the fetch
-    control unit already registered.  ``operation_classes`` restricts the
-    registered classes (the Figure 4/5 example model only implements a
-    subset of the ISA).
-    """
-    from repro.core.net import RCPN
-
-    net = RCPN(name)
-    gpr_file = net.add_register_file("gpr", NUM_REGISTERS)
-    cpsr_file = net.add_register_file("cpsr", 1)
-    gpr_registers = gpr_file.registers()
-    cpsr_register = cpsr_file.register(0, name="cpsr")
-
-    memory = MemorySystem(memory_config)
-    core = ProcessorCore()
-    net.add_unit("memory", memory)
-    net.add_unit("core", core)
-
-    for opclass in arm_operation_classes():
-        if operation_classes is None or opclass.name in operation_classes:
-            net.add_operation_class(opclass)
-
-    context = ArmDecodeContext(gpr_registers, cpsr_register, units=net.units)
-    return net, context, core, memory
-
-
-def make_decoder(net, context, use_cache=True):
-    """An :class:`InstructionDecoder` for the ARM ISA over ``net``."""
-    return InstructionDecoder(net, isa_decode, context, use_cache=use_cache)
+__all__ = [
+    "ArmDecodeContext",
+    "Processor",
+    "ProcessorCore",
+    "arm_operation_classes",
+    "block_transfer_addresses",
+    "compute_alu",
+    "compute_memory_address",
+    "compute_multiply",
+    "condition_holds",
+    "make_arm_model_parts",
+    "make_decoder",
+    "operand_read",
+    "operand_ready",
+    "operands_ready",
+    "pack_flags",
+    "resolve_engine_options",
+    "token_flags_ready",
+    "unpack_flags",
+]

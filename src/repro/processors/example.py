@@ -1,4 +1,4 @@
-"""The paper's Figure 4/5 example processor as an RCPN model.
+"""The paper's Figure 4/5 example processor as a pipeline description.
 
 This is the representative out-of-order-completion processor the paper uses
 to explain RCPN: four latches ``L1 .. L4``, an ALU path ``L1 -> L2 -> L3``,
@@ -6,7 +6,8 @@ a memory path ``L1 -> L2 -> L4`` with a data-dependent memory delay, a
 branch path that stalls the fetch unit with a reservation token parked in
 ``L1``, and a feedback (bypass) path used only for the first ALU source
 operand ``s1`` — modeled, exactly as in Figure 5, with two output arcs of
-different priorities from the decode place.
+different priorities from the decode place (the ``alu.issue`` /
+``alu.issue_bypass`` hook pair).
 
 The model executes the ARM7-inspired ISA restricted to the ALU, load/store,
 branch and system operation classes (the instruction classes of Figure
@@ -16,18 +17,14 @@ check the Figure 5 mechanisms one by one.
 
 from __future__ import annotations
 
-from repro.core.engine import EngineOptions
-from repro.isa.instructions import SystemOp
-from repro.processors.common import (
-    Processor,
-    compute_alu,
-    compute_memory_address,
-    condition_holds,
-    make_arm_model_parts,
-    make_decoder,
-    resolve_engine_options,
-    operand_read,
-    token_flags_ready,
+from repro.describe import (
+    FetchSpec,
+    HazardSpec,
+    OpClassPathSpec,
+    PipelineSpec,
+    StageSpec,
+    TransitionSpec,
+    elaborate,
 )
 
 STAGES = ("L1", "L2", "L3", "L4")
@@ -35,6 +32,72 @@ STAGES = ("L1", "L2", "L3", "L4")
 #: Only the ALU first source operand may use the feedback path, and only
 #: from state L3 (paper Figure 5).
 S1_FORWARD_STATE = "L3"
+
+
+def example_spec():
+    """The Figure 4/5 example processor as a declarative description."""
+    alu = OpClassPathSpec(
+        "alu",
+        stages=("L1", "L2", "L3"),
+        transitions=(
+            # [t.type = ALU, t.s1.canRead(), t.s2.canRead(), t.d.canWrite()]
+            TransitionSpec("D_alu", "L1", "L2", hooks="alu.issue", priority=0),
+            # [t.type = ALU, t.s1.canRead(L3), t.s2.canRead(), t.d.canWrite()]
+            TransitionSpec("D_alu_bypass", "L1", "L2", hooks="alu.issue_bypass", priority=1),
+            TransitionSpec("E", "L2", "L3", hooks="alu.execute"),
+            TransitionSpec("We", "L3", "end", hooks="alu.writeback"),
+        ),
+    )
+    mem = OpClassPathSpec(
+        "mem",
+        stages=("L1", "L2", "L4"),
+        transitions=(
+            TransitionSpec("D_mem", "L1", "L2", hooks="mem.issue"),
+            # M: if (t.L) t.r = mem[addr] else mem[addr] = t.r; t.delay = mem.delay(addr)
+            TransitionSpec("M", "L2", "L4", hooks="mem.access_combined"),
+            TransitionSpec("Wm", "L4", "end", hooks="mem.writeback_simple"),
+        ),
+    )
+    # The decode transition parks a reservation token in L1 (the stage the
+    # branch itself is leaving), stalling the fetch unit for one cycle; the
+    # resolution transition consumes it again.
+    branch = OpClassPathSpec(
+        "branch",
+        stages=("L1", "L2"),
+        transitions=(
+            TransitionSpec(
+                "D_branch", "L1", "L2", hooks="branch.decode_fig5", produces=("L1",)
+            ),
+            TransitionSpec(
+                "B", "L2", "end", hooks="branch.resolve_fig5", consumes=("L1",)
+            ),
+        ),
+    )
+    system = OpClassPathSpec(
+        "system",
+        stages=("L1", "L2"),
+        transitions=(
+            TransitionSpec("D_system", "L1", "L2", hooks="system.issue"),
+            TransitionSpec("W_system", "L2", "end", hooks="system.retire"),
+        ),
+    )
+
+    return PipelineSpec(
+        name="Figure5Example",
+        stages=tuple(StageSpec(name) for name in STAGES),
+        paths=(alu, mem, branch, system),
+        hazards=HazardSpec(
+            # No general bypass network: the only forwarding is the Figure 5
+            # s1 feedback arc, expressed by the dedicated bypass transition.
+            forward_states=(),
+            front_flush_stages=("L1",),
+            redirect_flush_stages=("L1", "L2"),
+            s1_forward_state=S1_FORWARD_STATE,
+        ),
+        fetch=FetchSpec(style="sequential", capacity_stage="L1", name="F"),
+        description="the paper's Figure 4/5 representative processor "
+        "(feedback path, data-dependent delays, fetch-stall reservation)",
+    )
 
 
 def build_example_processor(
@@ -45,249 +108,10 @@ def build_example_processor(
     ``backend`` selects the engine ("interpreted"/"compiled"), overriding
     ``engine_options.backend`` when given.
     """
-    net, context, core, memory = make_arm_model_parts(
-        "Figure5Example",
-        memory_config,
-        operation_classes=("alu", "mem", "branch", "system"),
+    return elaborate(
+        example_spec(),
+        memory_config=memory_config,
+        engine_options=engine_options,
+        use_decode_cache=use_decode_cache,
+        backend=backend,
     )
-
-    for stage in STAGES:
-        net.add_stage(stage, capacity=1, delay=1)
-
-    decoder = make_decoder(net, context, use_cache=use_decode_cache)
-
-    # -- instruction-independent sub-net (Figure 5, "Instruction Independent")
-    fetch_net = net.add_subnet("fetch")
-
-    def fetch_guard(_token, _ctx):
-        return not core.halted
-
-    def fetch_action(_token, ctx):
-        pc = core.next_fetch()
-        word = memory.read_word(pc)
-        token = decoder.decode_word(word, pc=pc)
-        token.delay = memory.instruction_delay(pc)
-        ctx.emit(token)
-
-    net.add_transition("F", fetch_net, guard=fetch_guard, action=fetch_action,
-                       capacity_stages=["L1"])
-
-    # -- ALU instructions sub-net ------------------------------------------------
-    alu_net = net.add_subnet("alu", opclasses=("alu",))
-    alu_l1 = net.add_place("L1", alu_net, entry=True)
-    alu_l2 = net.add_place("L2", alu_net)
-    alu_l3 = net.add_place("L3", alu_net)
-    alu_end = net.add_place("end", alu_net)
-
-    def _alu_common_guard(t):
-        if not token_flags_ready(t):
-            return False
-        if not t.s2.can_read():
-            return False
-        if not t.d.can_write():
-            return False
-        if t.writes_flags and not t.fl.can_write():
-            return False
-        return True
-
-    # [t.type = ALU, t.s1.canRead(), t.s2.canRead(), t.d.canWrite()]
-    def alu_issue_direct_guard(t, _ctx):
-        return _alu_common_guard(t) and t.s1.can_read()
-
-    def alu_issue_direct_action(t, _ctx):
-        executed = condition_holds(t)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        t.s1.read()
-        t.s2.read()
-        t.d.reserve_write()
-        if t.writes_flags:
-            t.fl.reserve_write()
-
-    # [t.type = ALU, t.s1.canRead(L3), t.s2.canRead(), t.d.canWrite()]
-    def alu_issue_forward_guard(t, _ctx):
-        if not _alu_common_guard(t):
-            return False
-        if not t.s1.can_read(S1_FORWARD_STATE):
-            return False
-        writer = t.s1.register.writer
-        return writer is not None and writer.has_value
-
-    def alu_issue_forward_action(t, _ctx):
-        executed = condition_holds(t)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        t.s1.read(S1_FORWARD_STATE)
-        t.s2.read()
-        t.d.reserve_write()
-        if t.writes_flags:
-            t.fl.reserve_write()
-
-    # E: t.d = t.op(t.s1, t.s2)
-    def alu_execute_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        result, flags = compute_alu(t)
-        if result is not None:
-            t.d.value = result
-        if flags is not None:
-            t.fl.value = flags
-
-    # We: t.d.writeback()
-    def alu_writeback_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        if t.d.has_value:
-            t.d.writeback()
-        if t.writes_flags and t.fl.has_value:
-            t.fl.writeback()
-
-    net.add_transition("D_alu", alu_net, source=alu_l1, target=alu_l2,
-                       guard=alu_issue_direct_guard, action=alu_issue_direct_action,
-                       priority=0)
-    net.add_transition("D_alu_bypass", alu_net, source=alu_l1, target=alu_l2,
-                       guard=alu_issue_forward_guard, action=alu_issue_forward_action,
-                       priority=1)
-    net.add_transition("E", alu_net, source=alu_l2, target=alu_l3,
-                       action=alu_execute_action)
-    net.add_transition("We", alu_net, source=alu_l3, target=alu_end,
-                       action=alu_writeback_action)
-
-    # -- LoadStore instructions sub-net -------------------------------------------
-    mem_net = net.add_subnet("mem", opclasses=("mem",))
-    mem_l1 = net.add_place("L1", mem_net, entry=True)
-    mem_l2 = net.add_place("L2", mem_net)
-    mem_l4 = net.add_place("L4", mem_net)
-    mem_end = net.add_place("end", mem_net)
-
-    # [t.type = LoadStore, !t.L || t.r.canWrite(), t.L || t.r.canRead(), t.addr.canRead()]
-    def mem_issue_guard(t, _ctx):
-        if not token_flags_ready(t):
-            return False
-        if not (t.base.can_read() and t.offset.can_read()):
-            return False
-        if t.L and not t.r.can_write():
-            return False
-        if not t.L and not t.r.can_read():
-            return False
-        if t.updates_base and not t.base.can_write():
-            return False
-        return True
-
-    # t.addr.read(); if (t.L) t.r.reserveWrite(); else t.r.read();
-    def mem_issue_action(t, _ctx):
-        executed = condition_holds(t)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        t.base.read()
-        t.offset.read()
-        if t.L:
-            t.r.reserve_write()
-        else:
-            t.r.read()
-        if t.updates_base:
-            t.base.reserve_write()
-
-    # M: if (t.L) t.r = mem[addr] else mem[addr] = t.r; t.delay = mem.delay(addr)
-    def mem_access_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        address, updated = compute_memory_address(t)
-        t.annotations["address"] = address
-        t.annotations["updated_base"] = updated
-        t.delay = memory.data_delay(address, is_write=not t.L)
-        if t.L:
-            t.r.value = memory.read_byte(address) if t.byte else memory.read_word(address)
-        else:
-            value = t.r.value or 0
-            if t.byte:
-                memory.write_byte(address, value & 0xFF)
-            else:
-                memory.write_word(address, value)
-
-    # Wm: if (t.L) t.r.writeback()
-    def mem_writeback_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        if t.L:
-            t.r.writeback()
-        if t.updates_base:
-            t.base.value = t.annotations["updated_base"]
-            t.base.writeback()
-
-    net.add_transition("D_mem", mem_net, source=mem_l1, target=mem_l2,
-                       guard=mem_issue_guard, action=mem_issue_action)
-    net.add_transition("M", mem_net, source=mem_l2, target=mem_l4,
-                       action=mem_access_action)
-    net.add_transition("Wm", mem_net, source=mem_l4, target=mem_end,
-                       action=mem_writeback_action)
-
-    # -- Branch instructions sub-net ------------------------------------------------
-    branch_net = net.add_subnet("branch", opclasses=("branch",))
-    branch_l1 = net.add_place("L1", branch_net, entry=True)
-    branch_l2 = net.add_place("L2", branch_net)
-    branch_end = net.add_place("end", branch_net)
-
-    # The decode transition parks a reservation token in L1 (the stage the
-    # branch itself is leaving), stalling the fetch unit for one cycle.
-    def branch_decode_guard(t, _ctx):
-        if not token_flags_ready(t):
-            return False
-        if t.link and not t.lr.can_write():
-            return False
-        return True
-
-    def branch_decode_action(t, _ctx):
-        taken = condition_holds(t)
-        t.annotations["executed"] = True
-        t.annotations["taken"] = taken
-        if taken and t.link:
-            t.lr.reserve_write()
-            t.lr.value = (t.pc + 4) & 0xFFFFFFFF
-
-    # B: pc = pc + offset (and consume the reservation token, un-stalling fetch).
-    def branch_resolve_action(t, ctx):
-        if t.annotations.get("taken"):
-            target = (t.pc + 8 + 4 * t.offset.value) & 0xFFFFFFFF
-            ctx.flush_stage("L1")
-            core.redirect(target)
-            if t.link:
-                t.lr.writeback()
-
-    net.add_transition("D_branch", branch_net, source=branch_l1, target=branch_l2,
-                       guard=branch_decode_guard, action=branch_decode_action,
-                       produces=[branch_l1])
-    net.add_transition("B", branch_net, source=branch_l2, target=branch_end,
-                       action=branch_resolve_action, consumes=[branch_l1])
-
-    # -- System instructions sub-net -------------------------------------------------
-    system_net = net.add_subnet("system", opclasses=("system",))
-    system_l1 = net.add_place("L1", system_net, entry=True)
-    system_l2 = net.add_place("L2", system_net)
-    system_end = net.add_place("end", system_net)
-
-    def system_issue_guard(t, _ctx):
-        return token_flags_ready(t)
-
-    def system_issue_action(t, ctx):
-        executed = condition_holds(t)
-        t.annotations["executed"] = executed
-        if executed and t.op == SystemOp.HALT:
-            core.halt()
-            ctx.flush_stage("L1")
-            t.annotations["halt"] = True
-
-    def system_retire_action(t, ctx):
-        if t.annotations.get("halt"):
-            ctx.stop("halt")
-
-    net.add_transition("D_system", system_net, source=system_l1, target=system_l2,
-                       guard=system_issue_guard, action=system_issue_action)
-    net.add_transition("W_system", system_net, source=system_l2, target=system_end,
-                       action=system_retire_action)
-
-    options = resolve_engine_options(engine_options, backend)
-    return Processor(net, decoder, core, memory, engine_options=options)

@@ -1,0 +1,117 @@
+"""Processor registry: named pipeline models, mirroring the workload registry.
+
+Every entry couples a spec factory (the declarative
+:class:`~repro.describe.PipelineSpec` description) with the builder that
+elaborates it, so callers can either build a ready-to-run simulator
+(:func:`build_processor`) or inspect/derive from the description itself
+(:func:`get_spec`).  Third-party code can :func:`register_processor` its own
+specs; the benchmark harness and the differential tests iterate
+:func:`processor_names` so registered models are exercised automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import UnknownNameError
+from repro.describe import elaborate
+from repro.processors.example import build_example_processor, example_spec
+from repro.processors.strongarm import build_strongarm_processor, strongarm_spec
+from repro.processors.variants import arm7_mini_spec, xscale_deep_spec
+from repro.processors.xscale import build_xscale_processor, xscale_spec
+
+#: Kernels every full-ISA model runs.  Models covering a subset of the ISA
+#: declare the subset explicitly in their registry entry.
+FULL_ISA = None
+
+
+@dataclass(frozen=True)
+class ProcessorEntry:
+    """One registered model: its spec, builder and ISA coverage."""
+
+    name: str
+    builder: object
+    spec_factory: object
+    description: str = ""
+    #: Workload names the model supports, or ``None`` for the full ISA.
+    kernels: tuple = FULL_ISA
+
+
+_REGISTRY = {}
+
+
+def register_processor(
+    name, spec_factory=None, builder=None, description="", kernels=FULL_ISA
+):
+    """Register a model under ``name``.
+
+    Either a ``spec_factory`` (a zero-argument callable returning a
+    :class:`~repro.describe.PipelineSpec`) or an explicit ``builder`` must
+    be given; with only a spec factory, the builder elaborates the spec
+    with the standard semantics.
+    """
+    if spec_factory is None and builder is None:
+        raise ValueError("register_processor needs a spec_factory or a builder")
+    if builder is None:
+
+        def builder(**kwargs):
+            return elaborate(spec_factory(), **kwargs)
+
+    entry = ProcessorEntry(
+        name=name,
+        builder=builder,
+        spec_factory=spec_factory,
+        description=description or (spec_factory().description if spec_factory else ""),
+        kernels=tuple(kernels) if kernels is not FULL_ISA else FULL_ISA,
+    )
+    _REGISTRY[name] = entry
+    return entry
+
+
+def processor_names():
+    """All registered model names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_entry(name):
+    """The :class:`ProcessorEntry` registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownNameError("processor", name, processor_names()) from None
+
+
+def get_spec(name):
+    """The declarative spec of a registered model (None for legacy builders)."""
+    entry = get_entry(name)
+    return entry.spec_factory() if entry.spec_factory is not None else None
+
+
+def build_processor(name, **kwargs):
+    """Build the named model; kwargs go to the builder (backend=..., etc.)."""
+    return get_entry(name).builder(**kwargs)
+
+
+def supported_kernels(name, all_kernels):
+    """Filter ``all_kernels`` down to what the named model can execute."""
+    entry = get_entry(name)
+    if entry.kernels is FULL_ISA:
+        return tuple(all_kernels)
+    return tuple(k for k in all_kernels if k in entry.kernels)
+
+
+# -- the shipped models -------------------------------------------------------
+register_processor(
+    "example",
+    spec_factory=example_spec,
+    builder=build_example_processor,
+    # The Figure 4/5 model implements only the alu/mem/branch/system
+    # classes; these kernels use no multiply or block transfer.
+    kernels=("blowfish", "compress", "crc"),
+)
+register_processor(
+    "strongarm", spec_factory=strongarm_spec, builder=build_strongarm_processor
+)
+register_processor("xscale", spec_factory=xscale_spec, builder=build_xscale_processor)
+register_processor("arm7-mini", spec_factory=arm7_mini_spec)
+register_processor("xscale-deep", spec_factory=xscale_deep_spec)

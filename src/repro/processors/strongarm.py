@@ -1,4 +1,4 @@
-"""RCPN model of the StrongARM SA-110 five-stage pipeline.
+"""Pipeline description of the StrongARM SA-110 five-stage pipeline.
 
 Pipeline stages (paper Section 5: "StrongArm has a simple five stage
 pipeline"):
@@ -17,28 +17,29 @@ The model follows the paper's structure: one instruction-independent
 sub-net (the fetch unit) plus six instruction sub-nets, one per ARM
 operation class.  Data hazards use the RegRef protocol with forwarding from
 the ``EM``/``MW`` stages; taken branches stall the fetch unit with a
-reservation token exactly as in the paper's Figure 5 example.
+reservation token exactly as in the paper's Figure 5 example — a dedicated
+``FSTALL`` latch keeps the capacity of ``FD`` free for the redirected
+fetch.
+
+The whole model is a declarative :class:`~repro.describe.PipelineSpec`;
+``repro.describe.elaborate`` wires the net and
+:class:`~repro.describe.semantics.ArmSemantics` supplies the transition
+behaviour.
 """
 
 from __future__ import annotations
 
-from repro.core.engine import EngineOptions
-from repro.isa.instructions import SystemOp
-from repro.memory.branch_predictor import StaticNotTakenPredictor
-from repro.processors.common import (
-    Processor,
-    block_transfer_addresses,
-    compute_alu,
-    compute_memory_address,
-    compute_multiply,
-    condition_holds,
-    make_arm_model_parts,
-    make_decoder,
-    resolve_engine_options,
-    operand_read,
-    operand_ready,
-    operands_ready,
-    token_flags_ready,
+from repro.describe import (
+    FetchSpec,
+    HazardSpec,
+    OpClassPathSpec,
+    PipelineSpec,
+    PlaceSpec,
+    PredictorSpec,
+    StageSpec,
+    TransitionSpec,
+    elaborate,
+    linear_path,
 )
 
 #: Pipeline states results can be forwarded from (bypass network).
@@ -50,13 +51,73 @@ FRONT_STAGES = ("FD",)
 PIPELINE_STAGES = ("FD", "DE", "EM", "MW")
 
 
-def _add_pipeline_places(net, subnet, stages=PIPELINE_STAGES):
-    """One place per pipeline stage plus the final place of the sub-net."""
-    places = {}
-    for index, stage in enumerate(stages):
-        places[stage] = net.add_place(stage, subnet, entry=(index == 0))
-    places["end"] = net.add_place("end", subnet)
-    return places
+def _stagewise(opclass, role_names, hooks):
+    """A FD→DE→EM→MW→end chain with StrongARM role-based transition names."""
+    names = {stage: "%s.%s" % (opclass, role) for stage, role in role_names.items()}
+    return linear_path(opclass, PIPELINE_STAGES, hooks=hooks, names=names)
+
+
+def strongarm_spec():
+    """The StrongARM model as a declarative pipeline description."""
+    alu = _stagewise(
+        "alu",
+        {"DE": "decode", "EM": "issue", "MW": "buffer", "end": "writeback"},
+        hooks={"EM": "alu.issue", "MW": "alu.execute", "end": "alu.writeback"},
+    )
+    # The multiply executes while the token moves DE -> EM: the issue hook
+    # and the latency-computing execute hook share one transition.
+    mul = _stagewise(
+        "mul",
+        {"DE": "decode", "EM": "issue", "MW": "buffer", "end": "writeback"},
+        hooks={"EM": ("mul.issue", "mul.execute"), "MW": "mul.buffer", "end": "mul.writeback"},
+    )
+    mem = _stagewise(
+        "mem",
+        {"DE": "decode", "EM": "issue", "MW": "access", "end": "writeback"},
+        hooks={"EM": ("mem.issue", "mem.agen"), "MW": "mem.access", "end": "mem.writeback"},
+    )
+    memm = _stagewise(
+        "memm",
+        {"DE": "decode", "EM": "issue", "MW": "access", "end": "writeback"},
+        hooks={"EM": ("memm.issue", "memm.agen"), "MW": "memm.access", "end": "memm.writeback"},
+    )
+    # Taken branches park a reservation token in the FSTALL latch, disabling
+    # the fetch transition for one cycle (paper Figure 5 mechanism).
+    branch = OpClassPathSpec(
+        "branch",
+        stages=PIPELINE_STAGES,
+        extra_places=(PlaceSpec("stall", "FSTALL", name="branch.stall"),),
+        transitions=(
+            TransitionSpec("branch.decode", "FD", "DE"),
+            TransitionSpec(
+                "branch.taken", "DE", "EM",
+                hooks="branch.taken", priority=0, produces=("stall",),
+            ),
+            TransitionSpec("branch.not_taken", "DE", "EM", hooks="branch.not_taken", priority=1),
+            TransitionSpec("branch.unstall", "EM", "MW", consumes=("stall",), priority=0),
+            TransitionSpec("branch.buffer", "EM", "MW", priority=1),
+            TransitionSpec("branch.writeback", "MW", "end", hooks="branch.link_writeback"),
+        ),
+    )
+    system = _stagewise(
+        "system",
+        {"DE": "decode", "EM": "issue", "MW": "buffer", "end": "retire"},
+        hooks={"EM": "system.issue", "end": "system.retire"},
+    )
+
+    return PipelineSpec(
+        name="StrongARM",
+        stages=tuple(StageSpec(name) for name in PIPELINE_STAGES) + (StageSpec("FSTALL"),),
+        paths=(alu, mul, mem, memm, branch, system),
+        hazards=HazardSpec(
+            forward_states=FORWARD_STATES,
+            front_flush_stages=FRONT_STAGES,
+            redirect_flush_stages=("FD", "DE", "EM"),
+        ),
+        fetch=FetchSpec(style="sequential", capacity_stage="FD", stall_stage="FSTALL"),
+        predictor=PredictorSpec(kind="static_not_taken", unit_name="predictor"),
+        description="StrongARM SA-110 five-stage in-order pipeline (paper Section 5)",
+    )
 
 
 def build_strongarm_processor(
@@ -67,466 +128,10 @@ def build_strongarm_processor(
     ``backend`` selects the engine ("interpreted"/"compiled"), overriding
     ``engine_options.backend`` when given.
     """
-    net, context, core, memory = make_arm_model_parts("StrongARM", memory_config)
-    predictor = StaticNotTakenPredictor()
-    net.add_unit("predictor", predictor)
-
-    for stage in PIPELINE_STAGES:
-        net.add_stage(stage, capacity=1, delay=1)
-    # Fetch-stall stage: a reservation token parked here by a taken branch
-    # disables the fetch transition for one cycle (paper Figure 5 uses the
-    # L1 latch itself; a dedicated stall latch keeps the capacity of FD for
-    # the redirected fetch).
-    stall_stage = net.add_stage("FSTALL", capacity=1, delay=1)
-
-    decoder = make_decoder(net, context, use_cache=use_decode_cache)
-
-    # ------------------------------------------------------------------
-    # Instruction-independent sub-net: the fetch unit.
-    # ------------------------------------------------------------------
-    fetch_net = net.add_subnet("fetch")
-
-    def fetch_guard(_token, _ctx):
-        return not core.halted and stall_stage.occupancy == 0
-
-    def fetch_action(_token, ctx):
-        pc = core.next_fetch()
-        word = memory.read_word(pc)
-        token = decoder.decode_word(word, pc=pc)
-        token.delay = memory.instruction_delay(pc)
-        ctx.emit(token)
-
-    net.add_transition(
-        "fetch",
-        fetch_net,
-        guard=fetch_guard,
-        action=fetch_action,
-        capacity_stages=["FD"],
+    return elaborate(
+        strongarm_spec(),
+        memory_config=memory_config,
+        engine_options=engine_options,
+        use_decode_cache=use_decode_cache,
+        backend=backend,
     )
-
-    # ------------------------------------------------------------------
-    # ALU sub-net.
-    # ------------------------------------------------------------------
-    alu_net = net.add_subnet("alu", opclasses=("alu",))
-    alu = _add_pipeline_places(net, alu_net)
-
-    def alu_issue_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        if not operands_ready((t.s1, t.s2), FORWARD_STATES):
-            return False
-        if not t.d.can_write():
-            return False
-        if t.writes_flags and not t.fl.can_write():
-            return False
-        return True
-
-    def alu_issue_action(t, _ctx):
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        operand_read(t.s1, FORWARD_STATES)
-        operand_read(t.s2, FORWARD_STATES)
-        t.d.reserve_write()
-        if t.writes_flags:
-            t.fl.reserve_write()
-
-    def alu_execute_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        result, flags = compute_alu(t)
-        if result is not None:
-            t.d.value = result
-        if flags is not None:
-            t.fl.value = flags
-        if t.writes_pc and result is not None:
-            t.annotations["redirect"] = result
-
-    def alu_writeback_action(t, ctx):
-        if not t.annotations.get("executed"):
-            return
-        if t.d.has_value:
-            t.d.writeback()
-        if t.writes_flags and t.fl.has_value:
-            t.fl.writeback()
-        if "redirect" in t.annotations:
-            _redirect_from_back_end(ctx, core, t.annotations["redirect"])
-
-    net.add_transition("alu.decode", alu_net, source=alu["FD"], target=alu["DE"])
-    net.add_transition(
-        "alu.issue", alu_net, source=alu["DE"], target=alu["EM"],
-        guard=alu_issue_guard, action=alu_issue_action,
-    )
-    net.add_transition("alu.buffer", alu_net, source=alu["EM"], target=alu["MW"],
-                       action=alu_execute_action)
-    net.add_transition("alu.writeback", alu_net, source=alu["MW"], target=alu["end"],
-                       action=alu_writeback_action)
-
-    # ------------------------------------------------------------------
-    # Multiply sub-net (early-termination multiplier in the execute stage).
-    # ------------------------------------------------------------------
-    mul_net = net.add_subnet("mul", opclasses=("mul",))
-    mul = _add_pipeline_places(net, mul_net)
-
-    def mul_issue_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        if not operands_ready((t.s1, t.s2, t.acc), FORWARD_STATES):
-            return False
-        if not t.d.can_write():
-            return False
-        if t.writes_flags and not t.fl.can_write():
-            return False
-        return True
-
-    def mul_issue_action(t, _ctx):
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        operand_read(t.s1, FORWARD_STATES)
-        operand_read(t.s2, FORWARD_STATES)
-        operand_read(t.acc, FORWARD_STATES)
-        t.d.reserve_write()
-        if t.writes_flags:
-            t.fl.reserve_write()
-
-    def mul_execute_action(t, _ctx):
-        # Fires when the token moves DE -> EM: the token delay models the
-        # data-dependent latency of the early-termination multiplier.
-        if not t.annotations.get("executed"):
-            return
-        result, flags, cycles = compute_multiply(t)
-        t.annotations["result"] = result
-        t.annotations["flags"] = flags
-        t.delay = cycles
-
-    def mul_buffer_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        t.d.value = t.annotations["result"]
-        if t.annotations["flags"] is not None:
-            t.fl.value = t.annotations["flags"]
-
-    def mul_writeback_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        t.d.writeback()
-        if t.writes_flags and t.fl.has_value:
-            t.fl.writeback()
-
-    net.add_transition("mul.decode", mul_net, source=mul["FD"], target=mul["DE"])
-    net.add_transition("mul.issue", mul_net, source=mul["DE"], target=mul["EM"],
-                       guard=mul_issue_guard, action=mul_issue_action)
-    # The issue transition computed nothing yet; the multiply executes while
-    # the token resides in EM (see mul_execute_action attached here).
-    net.add_transition("mul.buffer", mul_net, source=mul["EM"], target=mul["MW"],
-                       action=mul_buffer_action)
-    net.add_transition("mul.writeback", mul_net, source=mul["MW"], target=mul["end"],
-                       action=mul_writeback_action)
-    # Attach the latency computation to the issue transition's action chain.
-    _chain_action(net, "mul.issue", mul_execute_action)
-
-    # ------------------------------------------------------------------
-    # Load/store sub-net.
-    # ------------------------------------------------------------------
-    mem_net = net.add_subnet("mem", opclasses=("mem",))
-    mem = _add_pipeline_places(net, mem_net)
-
-    def mem_issue_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        sources = [t.base, t.offset]
-        if not t.L:
-            sources.append(t.r)
-        if not operands_ready(sources, FORWARD_STATES):
-            return False
-        if t.L and not t.r.can_write():
-            return False
-        if t.updates_base and not t.base.can_write():
-            return False
-        return True
-
-    def mem_issue_action(t, _ctx):
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        operand_read(t.base, FORWARD_STATES)
-        operand_read(t.offset, FORWARD_STATES)
-        if t.L:
-            t.r.reserve_write()
-        else:
-            operand_read(t.r, FORWARD_STATES)
-        if t.updates_base:
-            t.base.reserve_write()
-
-    def mem_execute_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        address, updated = compute_memory_address(t)
-        t.annotations["address"] = address
-        if t.updates_base:
-            # The updated base is an ALU-style result: make it available to
-            # dependents through the bypass network right away.
-            t.annotations["updated_base"] = updated
-            t.base.value = updated
-
-    def mem_access_action(t, ctx):
-        if not t.annotations.get("executed"):
-            return
-        address = t.annotations["address"]
-        t.delay = memory.data_delay(address, is_write=not t.L)
-        if not t.L:
-            value = t.r.value or 0
-            if t.byte:
-                memory.write_byte(address, value & 0xFF)
-            else:
-                memory.write_word(address, value)
-
-    def mem_writeback_action(t, ctx):
-        if not t.annotations.get("executed"):
-            return
-        if t.L:
-            address = t.annotations["address"]
-            value = memory.read_byte(address) if t.byte else memory.read_word(address)
-            t.r.value = value
-            t.r.writeback()
-            if t.writes_pc:
-                _redirect_from_back_end(ctx, core, value)
-        if t.updates_base:
-            t.base.value = t.annotations["updated_base"]
-            t.base.writeback()
-
-    net.add_transition("mem.decode", mem_net, source=mem["FD"], target=mem["DE"])
-    net.add_transition("mem.issue", mem_net, source=mem["DE"], target=mem["EM"],
-                       guard=mem_issue_guard, action=mem_issue_action)
-    _chain_action(net, "mem.issue", mem_execute_action)
-    net.add_transition("mem.access", mem_net, source=mem["EM"], target=mem["MW"],
-                       action=mem_access_action)
-    net.add_transition("mem.writeback", mem_net, source=mem["MW"], target=mem["end"],
-                       action=mem_writeback_action)
-
-    # ------------------------------------------------------------------
-    # Block-transfer sub-net (LDM/STM): multi-cycle in the memory stage.
-    # ------------------------------------------------------------------
-    memm_net = net.add_subnet("memm", opclasses=("memm",))
-    memm = _add_pipeline_places(net, memm_net)
-
-    def memm_issue_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        if not operand_ready(t.base, FORWARD_STATES):
-            return False
-        if t.L:
-            if not all(reg.can_write() for reg in t.regs):
-                return False
-        else:
-            if not operands_ready(t.regs, FORWARD_STATES):
-                return False
-        if t.updates_base and not t.base.can_write():
-            return False
-        return True
-
-    def memm_issue_action(t, _ctx):
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        operand_read(t.base, FORWARD_STATES)
-        if t.L:
-            for reg in t.regs:
-                reg.reserve_write()
-        else:
-            for reg in t.regs:
-                operand_read(reg, FORWARD_STATES)
-        if t.updates_base:
-            t.base.reserve_write()
-
-    def memm_execute_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        addresses, new_base = block_transfer_addresses(t)
-        t.annotations["addresses"] = addresses
-        if t.updates_base:
-            t.annotations["updated_base"] = new_base
-            t.base.value = new_base
-
-    def memm_access_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        addresses = t.annotations["addresses"]
-        latency = 0
-        for index, address in enumerate(addresses):
-            latency += memory.data_delay(address, is_write=not t.L)
-            if not t.L:
-                memory.write_word(address, t.regs[index].value or 0)
-        # One transfer per cycle: the block occupies the memory stage for
-        # at least one cycle per register.
-        t.delay = max(latency, len(addresses))
-
-    def memm_writeback_action(t, ctx):
-        if not t.annotations.get("executed"):
-            return
-        if t.L:
-            redirect = None
-            for index, address in enumerate(t.annotations["addresses"]):
-                value = memory.read_word(address)
-                reg = t.regs[index]
-                reg.value = value
-                reg.writeback()
-                if t.reg_indices[index] == 15:
-                    redirect = value
-            if redirect is not None:
-                _redirect_from_back_end(ctx, core, redirect)
-        if t.updates_base:
-            t.base.value = t.annotations["updated_base"]
-            t.base.writeback()
-
-    net.add_transition("memm.decode", memm_net, source=memm["FD"], target=memm["DE"])
-    net.add_transition("memm.issue", memm_net, source=memm["DE"], target=memm["EM"],
-                       guard=memm_issue_guard, action=memm_issue_action)
-    _chain_action(net, "memm.issue", memm_execute_action)
-    net.add_transition("memm.access", memm_net, source=memm["EM"], target=memm["MW"],
-                       action=memm_access_action)
-    net.add_transition("memm.writeback", memm_net, source=memm["MW"], target=memm["end"],
-                       action=memm_writeback_action)
-
-    # ------------------------------------------------------------------
-    # Branch sub-net: not-taken prediction; taken branches stall the fetch
-    # unit with a reservation token (paper Figure 5).
-    # ------------------------------------------------------------------
-    branch_net = net.add_subnet("branch", opclasses=("branch",))
-    branch = _add_pipeline_places(net, branch_net)
-    branch_stall = net.add_place("FSTALL", branch_net, name="branch.stall")
-
-    def branch_taken_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        if t.link and not t.lr.can_write():
-            return False
-        return condition_holds(t, FORWARD_STATES)
-
-    def branch_taken_action(t, ctx):
-        t.annotations["executed"] = True
-        t.annotations["taken"] = True
-        target = (t.pc + 8 + 4 * t.offset.value) & 0xFFFFFFFF
-        predictor.record(t.pc, True)
-        for stage in FRONT_STAGES:
-            ctx.flush_stage(stage)
-        core.redirect(target)
-        if t.link:
-            t.lr.reserve_write()
-            t.lr.value = (t.pc + 4) & 0xFFFFFFFF
-
-    def branch_not_taken_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        if t.link and not t.lr.can_write():
-            return False
-        return True
-
-    def branch_not_taken_action(t, ctx):
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        t.annotations["taken"] = False
-        predictor.record(t.pc, False)
-        if executed and t.link:
-            # An unconditional BL always takes the taken path; reaching here
-            # means the condition failed, so no link write is needed.
-            pass
-
-    def branch_writeback_action(t, _ctx):
-        if t.annotations.get("taken") and t.link:
-            t.lr.writeback()
-
-    net.add_transition("branch.decode", branch_net, source=branch["FD"], target=branch["DE"])
-    net.add_transition(
-        "branch.taken", branch_net, source=branch["DE"], target=branch["EM"],
-        guard=branch_taken_guard, action=branch_taken_action,
-        priority=0, produces=[branch_stall],
-    )
-    net.add_transition(
-        "branch.not_taken", branch_net, source=branch["DE"], target=branch["EM"],
-        guard=branch_not_taken_guard, action=branch_not_taken_action, priority=1,
-    )
-    net.add_transition(
-        "branch.unstall", branch_net, source=branch["EM"], target=branch["MW"],
-        consumes=[branch_stall], priority=0,
-    )
-    net.add_transition(
-        "branch.buffer", branch_net, source=branch["EM"], target=branch["MW"], priority=1,
-    )
-    net.add_transition("branch.writeback", branch_net, source=branch["MW"], target=branch["end"],
-                       action=branch_writeback_action)
-
-    # ------------------------------------------------------------------
-    # System sub-net (SWI / HALT / NOP).
-    # ------------------------------------------------------------------
-    system_net = net.add_subnet("system", opclasses=("system",))
-    system = _add_pipeline_places(net, system_net)
-
-    def system_issue_guard(t, _ctx):
-        return token_flags_ready(t, FORWARD_STATES)
-
-    def system_issue_action(t, ctx):
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        if t.op == SystemOp.HALT:
-            core.halt()
-            for stage in FRONT_STAGES:
-                ctx.flush_stage(stage)
-            t.annotations["halt"] = True
-        elif t.op == SystemOp.SWI:
-            t.annotations["syscall"] = t.imm
-
-    def system_retire_action(t, ctx):
-        if not t.annotations.get("executed"):
-            return
-        if t.annotations.get("syscall") == 1:
-            core_output = getattr(core, "output", None)
-            if core_output is None:
-                core.output = []
-            core.output.append(net.register_files["gpr"].data[0])
-        if t.annotations.get("halt"):
-            ctx.stop("halt")
-
-    net.add_transition("system.decode", system_net, source=system["FD"], target=system["DE"])
-    net.add_transition("system.issue", system_net, source=system["DE"], target=system["EM"],
-                       guard=system_issue_guard, action=system_issue_action)
-    net.add_transition("system.buffer", system_net, source=system["EM"], target=system["MW"])
-    net.add_transition("system.retire", system_net, source=system["MW"], target=system["end"],
-                       action=system_retire_action)
-
-    options = resolve_engine_options(engine_options, backend)
-    return Processor(net, decoder, core, memory, engine_options=options)
-
-
-def _redirect_from_back_end(ctx, core, target):
-    """Redirect fetching after a PC write deep in the pipeline.
-
-    Every younger instruction still in the pipe is on the wrong path, so all
-    upstream stages are flushed.
-    """
-    for stage in ("FD", "DE", "EM"):
-        ctx.flush_stage(stage)
-    core.redirect(target)
-
-
-def _chain_action(net, transition_name, extra_action):
-    """Append ``extra_action`` to an existing transition's action."""
-    for transition in net.transitions:
-        if transition.name == transition_name:
-            original = transition.action
-
-            def chained(token, ctx, _original=original, _extra=extra_action):
-                if _original is not None:
-                    _original(token, ctx)
-                _extra(token, ctx)
-
-            transition.action = chained
-            return
-    raise KeyError("unknown transition %r" % transition_name)

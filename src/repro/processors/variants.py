@@ -1,0 +1,110 @@
+"""Spec-defined pipeline variants.
+
+These models exist to demonstrate the point of the description layer: once
+the hook semantics are shared, a new pipeline is a page of declarative spec,
+not a page of guard/action closures per operation class.
+
+* :func:`arm7_mini_spec` — a three-stage scalar pipeline (fetch/decode,
+  execute, writeback) in the spirit of the ARM7TDMI: every operation class
+  shares the single execute stage, taken branches stall fetch with a
+  reservation token, results forward from EX/WB.
+* :func:`xscale_deep_spec` — the XScale model with the main integer pipe
+  deepened by one execute stage (eight stages front to back), obtained by
+  *parameterising* :func:`repro.processors.xscale.xscale_spec` rather than
+  restating it.  Deeper pipe, same side pipes, same predictor: branchy
+  codes pay a higher misprediction bill.
+"""
+
+from __future__ import annotations
+
+from repro.describe import (
+    FetchSpec,
+    HazardSpec,
+    OpClassPathSpec,
+    PipelineSpec,
+    PlaceSpec,
+    PredictorSpec,
+    StageSpec,
+    TransitionSpec,
+    linear_path,
+)
+from repro.processors.xscale import MAC_STAGES, MEMORY_STAGES, xscale_spec
+
+MINI_STAGES = ("FD", "EX", "WB")
+
+
+def arm7_mini_spec():
+    """A minimal three-stage scalar ARM pipeline, written as a spec."""
+
+    def chain(opclass, hooks, roles):
+        names = {
+            stage: "%s.%s" % (opclass, role)
+            for stage, role in zip(("EX", "WB", "end"), roles)
+        }
+        return linear_path(opclass, MINI_STAGES, hooks=hooks, names=names)
+
+    alu = chain(
+        "alu",
+        {"EX": "alu.issue", "WB": "alu.execute", "end": "alu.writeback"},
+        ("issue", "execute", "writeback"),
+    )
+    mul = chain(
+        "mul",
+        {"EX": ("mul.issue", "mul.execute"), "WB": "mul.buffer", "end": "mul.writeback"},
+        ("issue", "buffer", "writeback"),
+    )
+    mem = chain(
+        "mem",
+        {"EX": ("mem.issue", "mem.agen"), "WB": "mem.access", "end": "mem.writeback"},
+        ("issue", "access", "writeback"),
+    )
+    memm = chain(
+        "memm",
+        {"EX": ("memm.issue", "memm.agen"), "WB": "memm.access", "end": "memm.writeback"},
+        ("issue", "access", "writeback"),
+    )
+    branch = OpClassPathSpec(
+        "branch",
+        stages=MINI_STAGES,
+        extra_places=(PlaceSpec("stall", "FSTALL", name="branch.stall"),),
+        transitions=(
+            TransitionSpec("branch.taken", "FD", "EX",
+                           hooks="branch.taken", priority=0, produces=("stall",)),
+            TransitionSpec("branch.not_taken", "FD", "EX",
+                           hooks="branch.not_taken", priority=1),
+            TransitionSpec("branch.unstall", "EX", "WB", consumes=("stall",), priority=0),
+            TransitionSpec("branch.buffer", "EX", "WB", priority=1),
+            TransitionSpec("branch.writeback", "WB", "end", hooks="branch.link_writeback"),
+        ),
+    )
+    system = linear_path(
+        "system", MINI_STAGES,
+        hooks={"EX": "system.issue", "end": "system.retire"},
+        names={"EX": "system.issue", "WB": "system.buffer", "end": "system.retire"},
+    )
+
+    return PipelineSpec(
+        name="ARM7Mini",
+        stages=tuple(StageSpec(name) for name in MINI_STAGES) + (StageSpec("FSTALL"),),
+        paths=(alu, mul, mem, memm, branch, system),
+        hazards=HazardSpec(
+            forward_states=("EX", "WB"),
+            front_flush_stages=("FD",),
+            redirect_flush_stages=("FD", "EX"),
+        ),
+        fetch=FetchSpec(style="sequential", capacity_stage="FD", stall_stage="FSTALL"),
+        predictor=PredictorSpec(kind="static_not_taken", unit_name="predictor"),
+        description="three-stage scalar ARM pipeline (ARM7-style), defined as a spec",
+    )
+
+
+DEEP_MAIN_STAGES = ("F1", "F2", "ID", "RF", "X1", "X2", "X3", "XWB")
+
+
+def xscale_deep_spec():
+    """XScale with a deepened (8-stage) main integer pipe."""
+    return xscale_spec(
+        main_stages=DEEP_MAIN_STAGES,
+        forward_states=("X2", "X3", "XWB") + tuple(MEMORY_STAGES[1:]) + tuple(MAC_STAGES[1:]),
+        name="XScaleDeep",
+    )

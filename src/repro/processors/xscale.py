@@ -1,4 +1,4 @@
-"""RCPN model of the Intel XScale pipeline (paper Figure 9).
+"""Pipeline description of the Intel XScale pipeline (paper Figure 9).
 
 XScale is an in-order-issue, out-of-order-completion processor with a
 seven-stage main pipeline and two side pipes:
@@ -15,28 +15,21 @@ correct, exactly as the paper describes for its XScale model.
 
 Branches are predicted with a branch target buffer looked up at fetch time
 and resolved at issue; a misprediction flushes the front end (four-cycle
-penalty).
+penalty).  The model is a declarative
+:class:`~repro.describe.PipelineSpec`: each pipe is one
+:func:`~repro.describe.linear_path` with hooks at the stages that do work.
 """
 
 from __future__ import annotations
 
-from repro.core.engine import EngineOptions
-from repro.isa.instructions import SystemOp
-from repro.memory.branch_predictor import BranchTargetBuffer
-from repro.processors.common import (
-    Processor,
-    block_transfer_addresses,
-    compute_alu,
-    compute_memory_address,
-    compute_multiply,
-    condition_holds,
-    make_arm_model_parts,
-    make_decoder,
-    resolve_engine_options,
-    operand_read,
-    operand_ready,
-    operands_ready,
-    token_flags_ready,
+from repro.describe import (
+    FetchSpec,
+    HazardSpec,
+    PipelineSpec,
+    PredictorSpec,
+    StageSpec,
+    elaborate,
+    linear_path,
 )
 
 #: Pipeline states whose pending results may be forwarded to the issue stage.
@@ -51,31 +44,68 @@ MAC_STAGES = ("M1", "M2", "MWB")
 FRONT_END = ("F1", "F2", "ID", "RF")
 
 
-def _build_chain(net, subnet, stages, hooks=None):
-    """Create a linear chain of places/transitions for one sub-net.
+def xscale_spec(main_stages=MAIN_STAGES, forward_states=FORWARD_STATES, name="XScale"):
+    """The XScale model as a declarative pipeline description.
 
-    ``stages`` is the ordered list of stage names the instruction passes
-    through; ``hooks`` maps a destination stage name (or ``"end"``) to a
-    ``(guard, action)`` pair attached to the transition entering it.
+    ``main_stages`` and ``forward_states`` are parameters so deepened
+    variants (see ``repro.processors.variants``) can stretch the main pipe
+    without restating the structure.
     """
-    hooks = hooks or {}
-    places = {}
-    for index, stage in enumerate(stages):
-        places[stage] = net.add_place(stage, subnet, entry=(index == 0))
-    places["end"] = net.add_place("end", subnet)
+    front_end = main_stages[:4]
+    issue, execute = main_stages[4], main_stages[5]
+    resolve_stages = front_end + (issue,)
 
-    path = list(stages) + ["end"]
-    for source, destination in zip(path, path[1:]):
-        guard, action = hooks.get(destination, (None, None))
-        net.add_transition(
-            "%s.%s_%s" % (subnet.name, source, destination),
-            subnet,
-            source=places[source],
-            target=places[destination],
-            guard=guard,
-            action=action,
-        )
-    return places
+    alu = linear_path(
+        "alu", main_stages,
+        hooks={issue: "alu.issue", execute: "alu.execute", "end": "alu.writeback"},
+    )
+    mul = linear_path(
+        "mul", front_end + MAC_STAGES,
+        hooks={
+            "M1": "mul.issue",
+            "M2": "mul.execute",  # the MAC array iterates 1-4 cycles
+            "MWB": "mul.buffer",
+            "end": "mul.writeback",
+        },
+    )
+    mem = linear_path(
+        "mem", front_end + MEMORY_STAGES,
+        hooks={"D1": "mem.issue", "D2": "mem.agen", "DWB": "mem.access", "end": "mem.writeback"},
+    )
+    memm = linear_path(
+        "memm", front_end + MEMORY_STAGES,
+        hooks={
+            "D1": "memm.issue",
+            "D2": "memm.agen",
+            "DWB": "memm.access",
+            "end": "memm.writeback",
+        },
+    )
+    branch = linear_path(
+        "branch", resolve_stages,
+        hooks={issue: "branch.resolve", "end": "branch.link_writeback"},
+    )
+    system = linear_path(
+        "system", resolve_stages,
+        hooks={issue: "system.issue", "end": "system.retire"},
+    )
+
+    return PipelineSpec(
+        name=name,
+        stages=tuple(
+            StageSpec(stage) for stage in main_stages + MEMORY_STAGES + MAC_STAGES
+        ),
+        paths=(alu, mul, mem, memm, branch, system),
+        hazards=HazardSpec(
+            forward_states=forward_states,
+            front_flush_stages=front_end[:3],
+            redirect_flush_stages=front_end,
+        ),
+        fetch=FetchSpec(style="btb", capacity_stage=main_stages[0]),
+        predictor=PredictorSpec(kind="btb", unit_name="btb", btb_entries=128),
+        description="Intel XScale: 7-stage main pipe, memory and MAC side pipes, "
+        "BTB prediction, out-of-order completion (paper Figure 9)",
+    )
 
 
 def build_xscale_processor(
@@ -86,422 +116,10 @@ def build_xscale_processor(
     ``backend`` selects the engine ("interpreted"/"compiled"), overriding
     ``engine_options.backend`` when given.
     """
-    net, context, core, memory = make_arm_model_parts("XScale", memory_config)
-    btb = BranchTargetBuffer(entries=128)
-    net.add_unit("btb", btb)
-
-    for stage in MAIN_STAGES + MEMORY_STAGES + MAC_STAGES:
-        net.add_stage(stage, capacity=1, delay=1)
-
-    decoder = make_decoder(net, context, use_cache=use_decode_cache)
-
-    # ------------------------------------------------------------------
-    # Instruction-independent sub-net: fetch with BTB lookup.
-    # ------------------------------------------------------------------
-    fetch_net = net.add_subnet("fetch")
-
-    def fetch_guard(_token, _ctx):
-        return not core.halted
-
-    def fetch_action(_token, ctx):
-        pc = core.fetch_pc
-        hit, predicted_taken, predicted_target = btb.lookup(pc)
-        word = memory.read_word(pc)
-        token = decoder.decode_word(word, pc=pc)
-        token.delay = memory.instruction_delay(pc)
-        token.annotations["predicted_taken"] = bool(hit and predicted_taken)
-        if hit and predicted_taken:
-            core.redirect(predicted_target)
-        else:
-            core.redirect(pc + 4)
-        core.sequence += 1
-        ctx.emit(token)
-
-    net.add_transition(
-        "fetch", fetch_net, guard=fetch_guard, action=fetch_action, capacity_stages=["F1"],
+    return elaborate(
+        xscale_spec(),
+        memory_config=memory_config,
+        engine_options=engine_options,
+        use_decode_cache=use_decode_cache,
+        backend=backend,
     )
-
-    def front_end_flush(ctx):
-        for stage in FRONT_STAGES:
-            ctx.flush_stage(stage)
-
-    def backend_redirect(ctx, target):
-        """Redirect after a PC write deep in a pipe (load to PC and similar)."""
-        for stage in FRONT_END:
-            ctx.flush_stage(stage)
-        core.redirect(target)
-
-    # ------------------------------------------------------------------
-    # ALU sub-net (main pipe).
-    # ------------------------------------------------------------------
-    alu_net = net.add_subnet("alu", opclasses=("alu",))
-
-    def alu_issue_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        if not operands_ready((t.s1, t.s2), FORWARD_STATES):
-            return False
-        if not t.d.can_write():
-            return False
-        if t.writes_flags and not t.fl.can_write():
-            return False
-        return True
-
-    def alu_issue_action(t, ctx):
-        if t.annotations.get("predicted_taken"):
-            # A BTB alias redirected fetch after a non-branch: recover.
-            backend_redirect(ctx, (t.pc + 4) & 0xFFFFFFFF)
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        operand_read(t.s1, FORWARD_STATES)
-        operand_read(t.s2, FORWARD_STATES)
-        t.d.reserve_write()
-        if t.writes_flags:
-            t.fl.reserve_write()
-
-    def alu_execute_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        result, flags = compute_alu(t)
-        if result is not None:
-            t.d.value = result
-        if flags is not None:
-            t.fl.value = flags
-        if t.writes_pc and result is not None:
-            t.annotations["redirect"] = result
-
-    def alu_writeback_action(t, ctx):
-        if not t.annotations.get("executed"):
-            return
-        if t.d.has_value:
-            t.d.writeback()
-        if t.writes_flags and t.fl.has_value:
-            t.fl.writeback()
-        if "redirect" in t.annotations:
-            backend_redirect(ctx, t.annotations["redirect"])
-
-    _build_chain(
-        net, alu_net, MAIN_STAGES,
-        hooks={
-            "X1": (alu_issue_guard, alu_issue_action),
-            "X2": (None, alu_execute_action),
-            "end": (None, alu_writeback_action),
-        },
-    )
-
-    # ------------------------------------------------------------------
-    # Multiply sub-net (MAC pipe).
-    # ------------------------------------------------------------------
-    mul_net = net.add_subnet("mul", opclasses=("mul",))
-
-    def mul_issue_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        if not operands_ready((t.s1, t.s2, t.acc), FORWARD_STATES):
-            return False
-        if not t.d.can_write():
-            return False
-        if t.writes_flags and not t.fl.can_write():
-            return False
-        return True
-
-    def mul_issue_action(t, ctx):
-        if t.annotations.get("predicted_taken"):
-            backend_redirect(ctx, (t.pc + 4) & 0xFFFFFFFF)
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        operand_read(t.s1, FORWARD_STATES)
-        operand_read(t.s2, FORWARD_STATES)
-        operand_read(t.acc, FORWARD_STATES)
-        t.d.reserve_write()
-        if t.writes_flags:
-            t.fl.reserve_write()
-
-    def mul_execute_action(t, _ctx):
-        # M1 -> M2: the MAC array iterates for 1-4 cycles (early termination).
-        if not t.annotations.get("executed"):
-            return
-        result, flags, cycles = compute_multiply(t)
-        t.annotations["result"] = result
-        t.annotations["flags"] = flags
-        t.delay = cycles
-
-    def mul_complete_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        t.d.value = t.annotations["result"]
-        if t.annotations["flags"] is not None:
-            t.fl.value = t.annotations["flags"]
-
-    def mul_writeback_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        t.d.writeback()
-        if t.writes_flags and t.fl.has_value:
-            t.fl.writeback()
-
-    _build_chain(
-        net, mul_net, FRONT_END + MAC_STAGES,
-        hooks={
-            "M1": (mul_issue_guard, mul_issue_action),
-            "M2": (None, mul_execute_action),
-            "MWB": (None, mul_complete_action),
-            "end": (None, mul_writeback_action),
-        },
-    )
-
-    # ------------------------------------------------------------------
-    # Load/store sub-net (memory pipe).
-    # ------------------------------------------------------------------
-    mem_net = net.add_subnet("mem", opclasses=("mem",))
-
-    def mem_issue_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        sources = [t.base, t.offset]
-        if not t.L:
-            sources.append(t.r)
-        if not operands_ready(sources, FORWARD_STATES):
-            return False
-        if t.L and not t.r.can_write():
-            return False
-        if t.updates_base and not t.base.can_write():
-            return False
-        return True
-
-    def mem_issue_action(t, ctx):
-        if t.annotations.get("predicted_taken"):
-            backend_redirect(ctx, (t.pc + 4) & 0xFFFFFFFF)
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        operand_read(t.base, FORWARD_STATES)
-        operand_read(t.offset, FORWARD_STATES)
-        if t.L:
-            t.r.reserve_write()
-        else:
-            operand_read(t.r, FORWARD_STATES)
-        if t.updates_base:
-            t.base.reserve_write()
-
-    def mem_agen_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        address, updated = compute_memory_address(t)
-        t.annotations["address"] = address
-        if t.updates_base:
-            t.annotations["updated_base"] = updated
-            t.base.value = updated
-
-    def mem_access_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        address = t.annotations["address"]
-        t.delay = memory.data_delay(address, is_write=not t.L)
-        if not t.L:
-            value = t.r.value or 0
-            if t.byte:
-                memory.write_byte(address, value & 0xFF)
-            else:
-                memory.write_word(address, value)
-
-    def mem_writeback_action(t, ctx):
-        if not t.annotations.get("executed"):
-            return
-        if t.L:
-            address = t.annotations["address"]
-            value = memory.read_byte(address) if t.byte else memory.read_word(address)
-            t.r.value = value
-            t.r.writeback()
-            if t.writes_pc:
-                backend_redirect(ctx, value)
-        if t.updates_base:
-            t.base.value = t.annotations["updated_base"]
-            t.base.writeback()
-
-    _build_chain(
-        net, mem_net, FRONT_END + MEMORY_STAGES,
-        hooks={
-            "D1": (mem_issue_guard, mem_issue_action),
-            "D2": (None, mem_agen_action),
-            "DWB": (None, mem_access_action),
-            "end": (None, mem_writeback_action),
-        },
-    )
-
-    # ------------------------------------------------------------------
-    # Block-transfer sub-net: multi-cycle occupation of the memory pipe.
-    # ------------------------------------------------------------------
-    memm_net = net.add_subnet("memm", opclasses=("memm",))
-
-    def memm_issue_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        if not operand_ready(t.base, FORWARD_STATES):
-            return False
-        if t.L:
-            if not all(reg.can_write() for reg in t.regs):
-                return False
-        else:
-            if not operands_ready(t.regs, FORWARD_STATES):
-                return False
-        if t.updates_base and not t.base.can_write():
-            return False
-        return True
-
-    def memm_issue_action(t, ctx):
-        if t.annotations.get("predicted_taken"):
-            backend_redirect(ctx, (t.pc + 4) & 0xFFFFFFFF)
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        operand_read(t.base, FORWARD_STATES)
-        if t.L:
-            for reg in t.regs:
-                reg.reserve_write()
-        else:
-            for reg in t.regs:
-                operand_read(reg, FORWARD_STATES)
-        if t.updates_base:
-            t.base.reserve_write()
-
-    def memm_agen_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        addresses, new_base = block_transfer_addresses(t)
-        t.annotations["addresses"] = addresses
-        if t.updates_base:
-            t.annotations["updated_base"] = new_base
-            t.base.value = new_base
-
-    def memm_access_action(t, _ctx):
-        if not t.annotations.get("executed"):
-            return
-        addresses = t.annotations["addresses"]
-        latency = 0
-        for index, address in enumerate(addresses):
-            latency += memory.data_delay(address, is_write=not t.L)
-            if not t.L:
-                memory.write_word(address, t.regs[index].value or 0)
-        t.delay = max(latency, len(addresses))
-
-    def memm_writeback_action(t, ctx):
-        if not t.annotations.get("executed"):
-            return
-        if t.L:
-            redirect = None
-            for index, address in enumerate(t.annotations["addresses"]):
-                value = memory.read_word(address)
-                reg = t.regs[index]
-                reg.value = value
-                reg.writeback()
-                if t.reg_indices[index] == 15:
-                    redirect = value
-            if redirect is not None:
-                backend_redirect(ctx, redirect)
-        if t.updates_base:
-            t.base.value = t.annotations["updated_base"]
-            t.base.writeback()
-
-    _build_chain(
-        net, memm_net, FRONT_END + MEMORY_STAGES,
-        hooks={
-            "D1": (memm_issue_guard, memm_issue_action),
-            "D2": (None, memm_agen_action),
-            "DWB": (None, memm_access_action),
-            "end": (None, memm_writeback_action),
-        },
-    )
-
-    # ------------------------------------------------------------------
-    # Branch sub-net: BTB-predicted, resolved at issue.
-    # ------------------------------------------------------------------
-    branch_net = net.add_subnet("branch", opclasses=("branch",))
-
-    def branch_issue_guard(t, _ctx):
-        if not token_flags_ready(t, FORWARD_STATES):
-            return False
-        if t.link and not t.lr.can_write():
-            return False
-        return True
-
-    def branch_issue_action(t, ctx):
-        executed = condition_holds(t, FORWARD_STATES)
-        taken = executed
-        target = (t.pc + 8 + 4 * t.offset.value) & 0xFFFFFFFF
-        fallthrough = (t.pc + 4) & 0xFFFFFFFF
-        predicted_taken = bool(t.annotations.get("predicted_taken"))
-        t.annotations["executed"] = executed
-        t.annotations["taken"] = taken
-
-        btb.record_outcome(predicted_taken, taken)
-        btb.update(t.pc, taken, target)
-        mispredicted = predicted_taken != taken
-        if mispredicted:
-            front_end_flush(ctx)
-            core.redirect(target if taken else fallthrough)
-        if taken and t.link:
-            t.lr.reserve_write()
-            t.lr.value = (t.pc + 4) & 0xFFFFFFFF
-
-    def branch_writeback_action(t, _ctx):
-        if t.annotations.get("taken") and t.link:
-            t.lr.writeback()
-
-    _build_chain(
-        net, branch_net, FRONT_END + ("X1",),
-        hooks={
-            "X1": (branch_issue_guard, branch_issue_action),
-            "end": (None, branch_writeback_action),
-        },
-    )
-
-    # ------------------------------------------------------------------
-    # System sub-net.
-    # ------------------------------------------------------------------
-    system_net = net.add_subnet("system", opclasses=("system",))
-
-    def system_issue_guard(t, _ctx):
-        return token_flags_ready(t, FORWARD_STATES)
-
-    def system_issue_action(t, ctx):
-        if t.annotations.get("predicted_taken"):
-            backend_redirect(ctx, (t.pc + 4) & 0xFFFFFFFF)
-        executed = condition_holds(t, FORWARD_STATES)
-        t.annotations["executed"] = executed
-        if not executed:
-            return
-        if t.op == SystemOp.HALT:
-            core.halt()
-            front_end_flush(ctx)
-            t.annotations["halt"] = True
-        elif t.op == SystemOp.SWI:
-            t.annotations["syscall"] = t.imm
-
-    def system_retire_action(t, ctx):
-        if not t.annotations.get("executed"):
-            return
-        if t.annotations.get("syscall") == 1:
-            output = getattr(core, "output", None)
-            if output is None:
-                core.output = output = []
-            output.append(net.register_files["gpr"].data[0])
-        if t.annotations.get("halt"):
-            ctx.stop("halt")
-
-    _build_chain(
-        net, system_net, FRONT_END + ("X1",),
-        hooks={
-            "X1": (system_issue_guard, system_issue_action),
-            "end": (None, system_retire_action),
-        },
-    )
-
-    options = resolve_engine_options(engine_options, backend)
-    return Processor(net, decoder, core, memory, engine_options=options)

@@ -421,7 +421,7 @@ def kernel_source(name, scale=1):
     try:
         builder = KERNEL_BUILDERS[name]
     except KeyError:
-        raise KeyError(
-            "unknown kernel %r (available: %s)" % (name, ", ".join(sorted(KERNEL_BUILDERS)))
-        )
+        from repro.core.exceptions import UnknownNameError
+
+        raise UnknownNameError("workload", name, sorted(KERNEL_BUILDERS)) from None
     return builder(scale)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.assembler import assemble
-from repro.workloads.kernels import KERNEL_BUILDERS, kernel_source
+from repro.workloads.kernels import kernel_source
 
 #: Suite each kernel stands in for, as named by the paper.
 KERNEL_SUITES = {

@@ -2,21 +2,26 @@
 
 The compiled backend (``repro.compiled``) is contractually bit-identical to
 the interpreted reference engine in every statistic; these tests enforce
-the contract across every registered workload on both full-ISA processor
-models, and check that ``CompiledEngine.reset()`` re-runs reproduce the
-first run without recompiling.
+the contract for **every model in the processor registry** across every
+workload the model supports, and check that ``CompiledEngine.reset()``
+re-runs reproduce the first run without recompiling.
 """
 
 import pytest
 
-from repro.processors import build_strongarm_processor, build_xscale_processor
-from repro.workloads import get_workload, workload_names
+from repro.processors import build_processor, processor_names, supported_kernels
+from repro.workloads import workload_names, get_workload
 
 KERNELS = workload_names()
-FULL_ISA_MODELS = {
-    "strongarm": build_strongarm_processor,
-    "xscale": build_xscale_processor,
-}
+
+#: Every (model, kernel) pair the registry says is executable.
+MODEL_KERNEL_PAIRS = [
+    (model, kernel)
+    for model in processor_names()
+    for kernel in supported_kernels(model, KERNELS)
+]
+
+FULL_ISA_MODELS = ("strongarm", "xscale")
 
 
 def full_reset(processor, workload):
@@ -25,10 +30,10 @@ def full_reset(processor, workload):
     processor.load_program(workload.program)
 
 
-def run_backend(builder, workload, backend):
-    processor = builder(backend=backend)
+def run_backend(model, workload, backend):
+    processor = build_processor(model, backend=backend)
     processor.load_program(workload.program)
-    stats = processor.run()
+    stats = processor.run(max_cycles=2_000_000)
     return processor, stats
 
 
@@ -48,25 +53,22 @@ def observable_state(processor, stats):
     }
 
 
-@pytest.mark.parametrize("kernel", KERNELS)
-@pytest.mark.parametrize("model", sorted(FULL_ISA_MODELS))
+@pytest.mark.parametrize("model,kernel", MODEL_KERNEL_PAIRS)
 def test_compiled_engine_matches_interpreted(model, kernel):
-    builder = FULL_ISA_MODELS[model]
     workload = get_workload(kernel, scale=1)
 
-    interpreted = observable_state(*run_backend(builder, workload, "interpreted"))
-    compiled = observable_state(*run_backend(builder, workload, "compiled"))
+    interpreted = observable_state(*run_backend(model, workload, "interpreted"))
+    compiled = observable_state(*run_backend(model, workload, "compiled"))
 
     assert compiled == interpreted
     assert interpreted["finish_reason"] == "halt"
 
 
-@pytest.mark.parametrize("model", sorted(FULL_ISA_MODELS))
+@pytest.mark.parametrize("model", FULL_ISA_MODELS)
 def test_compiled_engine_reset_reuses_plan(model):
-    builder = FULL_ISA_MODELS[model]
     workload = get_workload("crc", scale=1)
 
-    processor = builder(backend="compiled")
+    processor = build_processor(model, backend="compiled")
     processor.load_program(workload.program)
     first = processor.run()
     first_state = observable_state(processor, first)
@@ -86,10 +88,9 @@ def test_compiled_engine_reset_reuses_plan(model):
 
 def test_compiled_engine_reset_mid_run_recovers():
     """Resetting after an interrupted run must leave no stale worklist state."""
-    builder = FULL_ISA_MODELS["strongarm"]
     workload = get_workload("crc", scale=1)
 
-    processor = builder(backend="compiled")
+    processor = build_processor("strongarm", backend="compiled")
     processor.load_program(workload.program)
     partial = processor.run(max_cycles=50)
     assert partial.finish_reason == "max_cycles"
@@ -97,7 +98,7 @@ def test_compiled_engine_reset_mid_run_recovers():
     full_reset(processor, workload)
     stats = processor.run()
 
-    reference = builder(backend="interpreted")
+    reference = build_processor("strongarm", backend="interpreted")
     reference.load_program(workload.program)
     expected = reference.run()
 
@@ -105,3 +106,27 @@ def test_compiled_engine_reset_mid_run_recovers():
     assert stats.instructions == expected.instructions
     assert stats.stalls == expected.stalls
     assert dict(stats.retired_by_class) == dict(expected.retired_by_class)
+
+
+@pytest.mark.parametrize("backend", ["interpreted", "compiled"])
+@pytest.mark.parametrize("kernel", ["crc", "adpcm"])
+@pytest.mark.parametrize("model", FULL_ISA_MODELS)
+def test_processor_reset_is_run_to_run_reproducible(model, kernel, backend):
+    """``Processor.reset()`` must make re-runs bit-reproducible on both backends.
+
+    One processor object, three runs of the same workload with a full reset
+    in between: statistics and architectural state must match exactly (the
+    caches, predictors and engine state all return to their initial state).
+    """
+    workload = get_workload(kernel, scale=1)
+    processor = build_processor(model, backend=backend)
+
+    states = []
+    for _ in range(3):
+        full_reset(processor, workload)
+        stats = processor.run()
+        states.append(observable_state(processor, stats))
+        assert stats.finish_reason == "halt"
+
+    assert states[1] == states[0]
+    assert states[2] == states[0]

@@ -1,0 +1,50 @@
+"""Golden-statistics regression test for the shipped processor models.
+
+The numbers below were captured from the hand-wired StrongARM/XScale/example
+models *before* they were rebuilt on the declarative description layer
+(``repro.describe``).  The refactor is required to be bit-identical: any
+change to cycle counts, retired-instruction counts, stall counts or the
+architectural result is a modeling regression, not noise.
+"""
+
+import pytest
+
+from repro.processors import build_processor
+from repro.workloads import get_workload
+
+#: (model, kernel) -> (cycles, instructions, stalls, final r0); captured at
+#: scale=1 from the seed models (PR 1 tree) on the interpreted backend.
+GOLDEN = {
+    ("strongarm", "adpcm"): (10146, 8072, 2634, 2282867342),
+    ("strongarm", "blowfish"): (11534, 6776, 7540, 1638522846),
+    ("strongarm", "compress"): (8184, 4760, 3948, 58384),
+    ("strongarm", "crc"): (7403, 4479, 3106, 4223799965),
+    ("strongarm", "g721"): (10012, 6107, 4738, 3462125290),
+    ("strongarm", "go"): (24059, 13592, 13399, 1286),
+    ("xscale", "adpcm"): (11562, 8072, 11482, 2282867342),
+    ("xscale", "blowfish"): (12373, 6776, 17770, 1638522846),
+    ("xscale", "compress"): (8634, 4760, 11162, 58384),
+    ("xscale", "crc"): (7600, 4479, 8455, 4223799965),
+    ("xscale", "g721"): (11097, 6107, 12578, 3462125290),
+    ("xscale", "go"): (27834, 13592, 40565, 1286),
+    ("example", "crc"): (7495, 4479, 2006, 4223799965),
+    ("example", "compress"): (8730, 4760, 2894, 58384),
+    ("example", "blowfish"): (11913, 6776, 4321, 1638522846),
+}
+
+
+@pytest.mark.parametrize("model,kernel", sorted(GOLDEN))
+def test_golden_statistics_are_unchanged(model, kernel):
+    expected_cycles, expected_instructions, expected_stalls, expected_r0 = GOLDEN[
+        (model, kernel)
+    ]
+    workload = get_workload(kernel, scale=1)
+    processor = build_processor(model)
+    processor.load_program(workload.program)
+    stats = processor.run(max_cycles=2_000_000)
+
+    assert stats.finish_reason == "halt"
+    assert stats.cycles == expected_cycles
+    assert stats.instructions == expected_instructions
+    assert stats.stalls == expected_stalls
+    assert processor.register(0) == expected_r0

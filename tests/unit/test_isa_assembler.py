@@ -11,7 +11,6 @@ from repro.isa.instructions import (
     LoadStore,
     LoadStoreMultiple,
     Multiply,
-    System,
     SystemOp,
 )
 

@@ -9,7 +9,6 @@ from repro.baseline import (
 )
 from repro.workloads import (
     SyntheticWorkloadGenerator,
-    all_workloads,
     get_workload,
     kernel_source,
     workload_names,
