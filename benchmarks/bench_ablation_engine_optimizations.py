@@ -3,60 +3,61 @@
 The paper attributes the speed of its generated simulators to (1) the
 precomputed per-(place, type) sorted transition lists, (2) evaluating places
 in reverse topological order so only feedback places need two-list storage,
-and (3) decoding instructions once and caching the decoded tokens.  This
-benchmark measures the StrongARM simulator with each optimisation disabled
-and verifies the simulated behaviour never changes (they are pure
+and (3) decoding instructions once and caching the decoded tokens.  The
+configurations are the engine axis of a declarative
+:class:`~repro.campaign.CampaignSpec` — one
+:class:`~repro.campaign.EngineVariant` per knob — measured on the
+StrongARM model with each optimisation disabled in turn, with a hard
+assertion that the simulated behaviour never changes (they are pure
 performance knobs).
 """
 
 import pytest
 
+from repro.campaign import CampaignSpec, EngineVariant, execute_run, plan_campaign
 from repro.core import EngineOptions
-from repro.processors import build_strongarm_processor
-from repro.workloads import get_workload
 
 from conftest import BENCH_SCALE, record_result
 
-CONFIGURATIONS = {
-    "all-optimisations": dict(engine_options=EngineOptions()),
-    "no-sorted-transitions": dict(
-        engine_options=EngineOptions(use_sorted_transitions=False)
+#: One engine variant per Section 4 knob, plus the generated-simulator fast
+#: path (repro.compiled); the equality assertion below doubles as a
+#: differential check of the two backends.
+ABLATION_CAMPAIGN = CampaignSpec(
+    name="ablation",
+    processors=("strongarm",),
+    workloads=("crc",),
+    scales=(BENCH_SCALE,),
+    engines=(
+        EngineVariant("all-optimisations", EngineOptions()),
+        EngineVariant("no-sorted-transitions", EngineOptions(use_sorted_transitions=False)),
+        EngineVariant("two-list-everywhere", EngineOptions(two_list_everywhere=True)),
+        EngineVariant("no-decode-cache", EngineOptions(), use_decode_cache=False),
+        EngineVariant("compiled-backend", EngineOptions(backend="compiled")),
     ),
-    "two-list-everywhere": dict(engine_options=EngineOptions(two_list_everywhere=True)),
-    "no-decode-cache": dict(engine_options=EngineOptions(), use_decode_cache=False),
-    # The generated-simulator fast path: on top of the interpreted engine's
-    # optimisations, the model is partially evaluated into flat closures
-    # (repro.compiled).  The equality assertion below doubles as a
-    # differential check of the two backends.
-    "compiled-backend": dict(engine_options=EngineOptions(backend="compiled")),
-}
+    description="Section 4 ablation: each engine optimisation disabled in turn",
+)
+ABLATION_PLAN = plan_campaign(ABLATION_CAMPAIGN)
 
 _reference = {}
 
 
-@pytest.mark.parametrize("configuration", list(CONFIGURATIONS))
-def test_ablation_engine_optimizations(benchmark, configuration):
-    workload = get_workload("crc", scale=BENCH_SCALE)
-    kwargs = CONFIGURATIONS[configuration]
+@pytest.mark.parametrize(
+    "run", ABLATION_PLAN.runs, ids=[run.engine.label for run in ABLATION_PLAN.runs]
+)
+def test_ablation_engine_optimizations(benchmark, run):
+    result = benchmark.pedantic(
+        lambda: execute_run(run, campaign=ABLATION_CAMPAIGN.name), rounds=1, iterations=1
+    )
 
-    def run():
-        processor = build_strongarm_processor(**kwargs)
-        processor.load_program(workload.program)
-        stats = processor.run()
-        return processor, stats
-
-    processor, stats = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    wall = stats.wall_time_seconds or 1e-9
     row = {
-        "configuration": configuration,
-        "cycles": stats.cycles,
-        "kcycles_per_sec": stats.cycles / wall / 1e3,
-        "r0": hex(processor.register(0)),
+        "configuration": run.engine.label,
+        "cycles": result.cycles,
+        "kcycles_per_sec": result.cycles_per_second / 1e3,
+        "r0": hex(result.final_r0),
     }
     benchmark.extra_info.update({k: v for k, v in row.items() if k != "r0"})
     record_result("Ablation - engine optimisations (Section 4)", row)
 
-    key = (stats.cycles, stats.instructions, processor.register(0))
+    key = (result.cycles, result.instructions, result.final_r0)
     reference = _reference.setdefault("key", key)
     assert key == reference, "disabling an optimisation changed simulated behaviour"

@@ -10,12 +10,16 @@ each RCPN to a standard CPN and reports the structural blow-up.
 import pytest
 
 from repro.analysis import model_complexity_table
-from repro.processors import build_processor, processor_names
+from repro.campaign import ALL, CampaignSpec, campaign_processors
+from repro.processors import build_processor
 
 from conftest import record_result
 
-#: Every registered model, including the spec-defined variants.
-MODELS = processor_names()
+#: The model axis of the figure, declared the campaign way: every
+#: registered model, including the spec-defined variants.
+MODELS = campaign_processors(
+    CampaignSpec(name="fig02", processors=(ALL,), workloads=())
+)
 
 
 @pytest.mark.parametrize("model", list(MODELS))

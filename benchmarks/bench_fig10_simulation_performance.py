@@ -2,9 +2,13 @@
 
 The paper runs six benchmarks on SimpleScalar-ARM and on the generated
 XScale and StrongARM simulators and reports million-cycles-per-second for
-each.  This module regenerates the same rows: one benchmark per (simulator,
-workload) pair, with throughput, CPI and the speed-up over the SimpleScalar
-baseline recorded in ``extra_info`` and in the end-of-session table.
+each.  This module regenerates the same rows: the fixed baselines are
+measured directly, and every RCPN (model, kernel, engine) combination is
+one run of a declarative :class:`~repro.campaign.CampaignSpec` — the grid
+that used to be a hand-rolled loop over the registry is now planned by
+``repro.campaign`` and executed through its single
+:func:`~repro.campaign.execute_run` path, so the figure and a stored
+campaign over the same grid are bit-identical by construction.
 
 The RCPN models appear twice: once with the interpreted engine and once
 with the compiled (generated) engine, so the table also quantifies the
@@ -18,54 +22,50 @@ the rows reproduce the figure's *structure*: same simulators, same
 benchmarks, same metric.
 """
 
-import functools
-
 import pytest
 
 from repro.analysis import run_processor, run_simplescalar
 from repro.analysis.metrics import run_inorder
-from repro.processors import (
-    build_strongarm_processor,
-    build_xscale_processor,
-    get_entry,
-    processor_names,
-    supported_kernels,
-)
+from repro.campaign import ALL, CampaignSpec, execute_run, plan_campaign
+from repro.processors import build_strongarm_processor, build_xscale_processor
 from repro.workloads import get_workload, workload_names
 
 from conftest import BENCH_SCALE, record_result
 
+#: The figure's RCPN grid, declaratively: every registered model (so
+#: spec-defined variants show up automatically) × every kernel its ISA
+#: subset supports × both engine backends.
+FIG10_CAMPAIGN = CampaignSpec(
+    name="fig10",
+    processors=(ALL,),
+    workloads=(ALL,),
+    scales=(BENCH_SCALE,),
+    engines=("interpreted", "compiled"),
+    description="Figure 10: simulation throughput of every model on every kernel",
+)
+FIG10_PLAN = plan_campaign(FIG10_CAMPAIGN)
 
-def _model_runner(name, backend):
-    label = "rcpn-%s%s" % (name, "-compiled" if backend == "compiled" else "")
-    builder = get_entry(name).builder
-    return label, functools.partial(run_processor, builder, label=label, backend=backend)
-
-
-#: One row per fixed baseline plus two rows (interpreted/compiled engine)
-#: per registered RCPN model — the registry decides what appears in the
-#: figure, so spec-defined variants show up automatically.  Each model row
-#: only pairs with the kernels its ISA subset supports.
-SIMULATORS = {
-    "simplescalar-arm": lambda w: run_simplescalar(w),
-    "inorder-baseline": lambda w: run_inorder(w),
+BASELINES = {
+    "simplescalar-arm": run_simplescalar,
+    "inorder-baseline": run_inorder,
 }
-SIMULATOR_KERNELS = [
-    (label, kernel) for label in SIMULATORS for kernel in workload_names()
-]
-for _name in processor_names():
-    for _backend in ("interpreted", "compiled"):
-        _label, _runner = _model_runner(_name, _backend)
-        SIMULATORS[_label] = _runner
-        SIMULATOR_KERNELS.extend(
-            (_label, kernel) for kernel in supported_kernels(_name, workload_names())
-        )
 
 
-@pytest.mark.parametrize("simulator,kernel", SIMULATOR_KERNELS)
-def test_fig10_simulation_performance(benchmark, simulator, kernel):
+def _figure_label(run):
+    # The figure's historical row labels: rcpn-<model>[-compiled].
+    return "rcpn-%s%s" % (
+        run.processor,
+        "-compiled" if run.engine.backend == "compiled" else "",
+    )
+
+
+@pytest.mark.parametrize(
+    "baseline,kernel",
+    [(label, kernel) for label in BASELINES for kernel in workload_names()],
+)
+def test_fig10_baseline_performance(benchmark, baseline, kernel):
     workload = get_workload(kernel, scale=BENCH_SCALE)
-    runner = SIMULATORS[simulator]
+    runner = BASELINES[baseline]
 
     result = benchmark.pedantic(lambda: runner(workload), rounds=1, iterations=1)
 
@@ -76,7 +76,30 @@ def test_fig10_simulation_performance(benchmark, simulator, kernel):
         "Figure 10 - simulation performance (simulated kcycles / host second)",
         {
             "benchmark": kernel,
-            "simulator": simulator,
+            "simulator": baseline,
+            "kcycles_per_sec": result.cycles_per_second / 1e3,
+            "cycles": result.cycles,
+            "cpi": result.cpi,
+        },
+    )
+    assert result.finish_reason == "halt"
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("run", FIG10_PLAN.runs, ids=FIG10_PLAN.run_ids())
+def test_fig10_simulation_performance(benchmark, run):
+    result = benchmark.pedantic(
+        lambda: execute_run(run, campaign=FIG10_CAMPAIGN.name), rounds=1, iterations=1
+    )
+
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    benchmark.extra_info["cycles_per_second"] = round(result.cycles_per_second)
+    benchmark.extra_info["cpi"] = round(result.cpi, 3)
+    record_result(
+        "Figure 10 - simulation performance (simulated kcycles / host second)",
+        {
+            "benchmark": run.workload,
+            "simulator": _figure_label(run),
             "kcycles_per_sec": result.cycles_per_second / 1e3,
             "cycles": result.cycles,
             "cpi": result.cpi,

@@ -2,28 +2,41 @@
 
 The paper compares the CPI reported by SimpleScalar-ARM and by the
 generated StrongARM simulator on the six benchmarks and argues the two
-track each other within ~10%.  This module regenerates the figure's rows
-and asserts the reproduction-level claim: both CPIs are plausible for a
+track each other within ~10%.  The StrongARM rows are a declarative
+:class:`~repro.campaign.CampaignSpec` grid (strongarm × every kernel,
+interpreted engine) executed through the campaign subsystem; each row is
+compared against a directly-measured SimpleScalar baseline and the
+reproduction-level claim is asserted: both CPIs are plausible for a
 single-issue five-stage core and they stay within a factor-of-1.5 band of
 each other.
 """
 
 import pytest
 
-from repro.analysis import run_processor, run_simplescalar
-from repro.processors import build_strongarm_processor
-from repro.workloads import get_workload, workload_names
+from repro.analysis import run_simplescalar
+from repro.campaign import ALL, CampaignSpec, execute_run, plan_campaign
+from repro.workloads import get_workload
 
 from conftest import BENCH_SCALE, record_result
 
+FIG11_CAMPAIGN = CampaignSpec(
+    name="fig11",
+    processors=("strongarm",),
+    workloads=(ALL,),
+    scales=(BENCH_SCALE,),
+    engines=("interpreted",),
+    description="Figure 11: StrongARM CPI vs the SimpleScalar-style baseline",
+)
+FIG11_PLAN = plan_campaign(FIG11_CAMPAIGN)
 
-@pytest.mark.parametrize("kernel", workload_names())
-def test_fig11_cpi(benchmark, kernel):
-    workload = get_workload(kernel, scale=BENCH_SCALE)
+
+@pytest.mark.parametrize("run", FIG11_PLAN.runs, ids=FIG11_PLAN.run_ids())
+def test_fig11_cpi(benchmark, run):
+    workload = get_workload(run.workload, scale=run.scale)
 
     def measure():
         baseline = run_simplescalar(workload)
-        rcpn = run_processor(build_strongarm_processor, workload, label="rcpn-strongarm")
+        rcpn = execute_run(run, campaign=FIG11_CAMPAIGN.name)
         return baseline, rcpn
 
     baseline, rcpn = benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -33,7 +46,7 @@ def test_fig11_cpi(benchmark, kernel):
     record_result(
         "Figure 11 - clocks per instruction (CPI)",
         {
-            "benchmark": kernel,
+            "benchmark": run.workload,
             "simplescalar_cpi": baseline.cpi,
             "rcpn_strongarm_cpi": rcpn.cpi,
             "ratio": rcpn.cpi / baseline.cpi,

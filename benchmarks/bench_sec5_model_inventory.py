@@ -10,12 +10,16 @@ for the paper's "one man-day / three man-days" modeling-effort narrative.
 
 import pytest
 
-from repro.processors import build_processor, processor_names
+from repro.campaign import ALL, CampaignSpec, campaign_processors
+from repro.processors import build_processor
 
 from conftest import record_result
 
-#: Every registered model, including the spec-defined variants.
-MODELS = processor_names()
+#: The model axis of the inventory, declared the campaign way: every
+#: registered model, including the spec-defined variants.
+MODELS = campaign_processors(
+    CampaignSpec(name="sec5", processors=(ALL,), workloads=())
+)
 
 
 @pytest.mark.parametrize("model", list(MODELS))

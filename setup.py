@@ -10,12 +10,15 @@ with ``PYTHONPATH=src`` (see README.md).
 """
 
 import os
+import re
 
 from setuptools import find_packages, setup
 
+HERE = os.path.dirname(os.path.abspath(__file__))
+
 
 def _long_description():
-    readme = os.path.join(os.path.dirname(os.path.abspath(__file__)), "README.md")
+    readme = os.path.join(HERE, "README.md")
     try:
         with open(readme, encoding="utf-8") as handle:
             return handle.read()
@@ -23,9 +26,19 @@ def _long_description():
         return ""
 
 
+def _version():
+    """The single source of the version: ``repro.__version__``."""
+    init = os.path.join(HERE, "src", "repro", "__init__.py")
+    with open(init, encoding="utf-8") as handle:
+        match = re.search(r'^__version__ = "([^"]+)"$', handle.read(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
 setup(
     name="repro",
-    version="1.2.0",
+    version=_version(),
     description=(
         "Reproduction of 'Generic Pipelined Processor Modeling and High "
         "Performance Cycle-Accurate Simulator Generation' (Reshadi & Dutt, "

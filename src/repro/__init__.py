@@ -48,9 +48,15 @@ Sub-packages
 ``repro.analysis``
     Metrics, model-complexity counters and report helpers for the
     experiments.
+``repro.campaign``
+    Declarative experiment campaigns: ``CampaignSpec`` grids expanded into
+    content-fingerprinted runs, executed on a ``multiprocessing`` worker
+    pool, persisted in a JSON-lines ``ResultStore`` keyed by fingerprint
+    (re-runs skip everything already stored), aggregated into the paper's
+    tables, and driven from the ``python -m repro.campaign`` CLI.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "core",
@@ -63,4 +69,5 @@ __all__ = [
     "baseline",
     "workloads",
     "analysis",
+    "campaign",
 ]

@@ -15,7 +15,7 @@ def model_complexity_table(models):
     """Structural sizes of RCPN models and of their CPN conversions.
 
     ``models`` maps a display name to an :class:`repro.core.RCPN` (or to a
-    :class:`repro.processors.common.Processor`, whose net is used).  Returns
+    :class:`repro.describe.substrate.Processor`, whose net is used).  Returns
     a list of row dictionaries ready for printing.
     """
     rows = []

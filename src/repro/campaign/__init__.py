@@ -1,0 +1,80 @@
+"""Parallel, content-addressed simulation campaigns.
+
+Where :mod:`repro.describe` makes processor *models* declarative,
+this package makes *experiments* declarative: a
+:class:`CampaignSpec` describes a grid of runs — processors × workloads ×
+scales × engine variants × repeats — which the planner expands into
+content-fingerprinted :class:`RunSpec`s, the runner executes on a
+``multiprocessing`` worker pool, and the :class:`ResultStore` persists as
+JSON lines keyed by fingerprint.  Re-running a campaign skips every run
+the store already holds, so campaigns are incremental and resumable, and
+an aggregation API (:mod:`repro.campaign.aggregate`) turns stored results
+into the paper's tables (CPI, throughput, compiled-over-interpreted
+speedup) plus CSV/JSON exports.
+
+The CLI mirrors the API::
+
+    python -m repro.campaign run --processors all --workloads crc,compress \\
+        --engines interpreted,compiled --store campaign-store --max-workers 4
+    python -m repro.campaign status --store campaign-store
+    python -m repro.campaign report --store campaign-store --csv results.csv
+"""
+
+from repro.campaign.aggregate import (
+    cpi_table,
+    group_results,
+    render,
+    result_rows,
+    speedup_table,
+    summarize,
+    to_csv,
+    to_json,
+)
+from repro.campaign.planner import (
+    CampaignPlan,
+    campaign_processors,
+    plan_campaign,
+)
+from repro.campaign.runner import (
+    CampaignReport,
+    build_run_processor,
+    execute_run,
+    run_campaign,
+    run_single,
+)
+from repro.campaign.spec import (
+    ALL,
+    CampaignError,
+    CampaignSpec,
+    EngineVariant,
+    RunSpec,
+    engine_variant,
+)
+from repro.campaign.store import ResultStore, RunResult
+
+__all__ = [
+    "ALL",
+    "CampaignError",
+    "CampaignPlan",
+    "CampaignReport",
+    "CampaignSpec",
+    "EngineVariant",
+    "ResultStore",
+    "RunResult",
+    "RunSpec",
+    "build_run_processor",
+    "campaign_processors",
+    "cpi_table",
+    "engine_variant",
+    "execute_run",
+    "group_results",
+    "plan_campaign",
+    "render",
+    "result_rows",
+    "run_campaign",
+    "run_single",
+    "speedup_table",
+    "summarize",
+    "to_csv",
+    "to_json",
+]

@@ -1,0 +1,182 @@
+"""Aggregation over campaign results: grouping, tables and export.
+
+Results come in as :class:`~repro.campaign.store.RunResult`s (from a
+:class:`~repro.campaign.runner.CampaignReport` or straight from a
+:class:`~repro.campaign.store.ResultStore`); this module turns them into
+the shapes the paper's figures need — flat rows, CPI tables, speedup
+tables comparing engine variants — and exports them as CSV or JSON.
+Rendering goes through :func:`repro.analysis.report.format_table` so
+campaign reports look like the rest of the benchmark output.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.analysis.report import format_table
+
+
+def _as_results(results):
+    """Accept a result iterable, a CampaignReport or a ResultStore."""
+    if hasattr(results, "results"):
+        results = results.results
+    if callable(results):  # ResultStore.results is a method
+        results = results()
+    return list(results)
+
+
+def result_rows(results):
+    """One flat dictionary per result — the canonical tabular form."""
+    rows = []
+    for result in _as_results(results):
+        rows.append(
+            {
+                "processor": result.processor,
+                "workload": result.workload,
+                "scale": result.scale,
+                "engine": result.engine,
+                "backend": result.backend,
+                "repeat": result.repeat,
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "cpi": result.cpi,
+                "kcycles_per_sec": result.cycles_per_second / 1e3,
+                "wall_seconds": result.wall_seconds,
+                "final_r0": result.final_r0,
+                "finish_reason": result.finish_reason,
+                "cached": result.cached,
+                "fingerprint": result.fingerprint,
+            }
+        )
+    return rows
+
+
+def group_results(results, by=("processor", "workload", "scale", "engine")):
+    """Group results by the named attributes; returns ``{key_tuple: [results]}``."""
+    groups = {}
+    for result in _as_results(results):
+        key = tuple(getattr(result, attribute) for attribute in by)
+        groups.setdefault(key, []).append(result)
+    return groups
+
+
+def summarize(results, by=("processor", "workload", "scale", "engine")):
+    """Aggregate repeats: one row per group with best throughput and mean wall.
+
+    With the default grouping, members of one group differ only in their
+    repeat index, so simulated quantities (cycles, instructions, CPI) are
+    identical across the group by construction — the summary asserts that —
+    while wall-clock quantities are reduced (best throughput, mean wall
+    time).  A custom ``by`` that merges distinct simulations (e.g. dropping
+    ``"scale"``) trips the same assertion.
+    """
+    rows = []
+    for key, members in group_results(results, by=by).items():
+        cycles = {member.cycles for member in members}
+        instructions = {member.instructions for member in members}
+        if len(cycles) != 1 or len(instructions) != 1:
+            raise ValueError(
+                "non-deterministic group %r: cycles=%s instructions=%s"
+                % (key, sorted(cycles), sorted(instructions))
+            )
+        best = max(members, key=lambda member: member.cycles_per_second)
+        row = dict(zip(by, key))
+        row.update(
+            {
+                "runs": len(members),
+                "cycles": best.cycles,
+                "instructions": best.instructions,
+                "cpi": best.cpi,
+                "best_kcycles_per_sec": best.cycles_per_second / 1e3,
+                "mean_wall_seconds": sum(m.wall_seconds for m in members) / len(members),
+            }
+        )
+        rows.append(row)
+    return rows
+
+
+def cpi_table(results):
+    """CPI per (processor, workload, scale, engine) — the Figure 11 shape."""
+    return [
+        {
+            "processor": row["processor"],
+            "workload": row["workload"],
+            "scale": row["scale"],
+            "engine": row["engine"],
+            "cycles": row["cycles"],
+            "instructions": row["instructions"],
+            "cpi": row["cpi"],
+        }
+        for row in summarize(results)
+    ]
+
+
+def speedup_table(results, baseline="interpreted", against="compiled"):
+    """Throughput of one engine variant over another, per (processor, workload).
+
+    The two variants must have simulated bit-identical cycles — that is the
+    compiled-backend contract — and the table enforces it.
+    """
+    groups = group_results(results, by=("processor", "workload", "scale"))
+    rows = []
+    for (processor, workload, scale), members in groups.items():
+        by_engine = {}
+        for member in members:
+            best = by_engine.get(member.engine)
+            if best is None or member.cycles_per_second > best.cycles_per_second:
+                by_engine[member.engine] = member
+        if baseline not in by_engine or against not in by_engine:
+            continue
+        base, fast = by_engine[baseline], by_engine[against]
+        if base.cycles != fast.cycles:
+            raise ValueError(
+                "engine variants %r and %r disagree on simulated cycles for "
+                "%s/%s@%d (%d vs %d)"
+                % (baseline, against, processor, workload, scale, base.cycles, fast.cycles)
+            )
+        rows.append(
+            {
+                "processor": processor,
+                "workload": workload,
+                "scale": scale,
+                "%s_kc_per_sec" % baseline: base.cycles_per_second / 1e3,
+                "%s_kc_per_sec" % against: fast.cycles_per_second / 1e3,
+                "speedup": (
+                    fast.cycles_per_second / base.cycles_per_second
+                    if base.cycles_per_second
+                    else float("inf")
+                ),
+            }
+        )
+    return rows
+
+
+def render(rows, columns=None):
+    """Rows as an aligned plain-text table (the benchmark-harness look)."""
+    return format_table(rows, columns=columns)
+
+
+def to_csv(results, path, columns=None):
+    """Write the flat result rows as CSV; returns the row count."""
+    rows = _as_results(results)
+    if not rows:
+        raise ValueError("no results to export")
+    if not isinstance(rows[0], dict):
+        rows = result_rows(rows)
+    columns = columns or list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def to_json(results, path=None):
+    """Results as a JSON document (full per-run records); optionally written."""
+    payload = [result.to_json_dict() for result in _as_results(results)]
+    text = json.dumps(payload, sort_keys=True, indent=2)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return text

@@ -1,0 +1,140 @@
+"""Campaign planning: expand a :class:`CampaignSpec` into concrete runs.
+
+The planner resolves the symbolic axes against the processor and workload
+registries (``"all"`` → every registered name, with
+:class:`~repro.core.exceptions.UnknownNameError` and its did-you-mean
+suggestions for typos), crosses them deterministically, drops pairings a
+model's ISA subset cannot execute, and appends the campaign's explicit
+runs.  The result is a :class:`CampaignPlan`: a flat, ordered tuple of
+:class:`~repro.campaign.spec.RunSpec`s that the runner (or a benchmark
+module parameterising over them) can execute in any order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.spec import ALL, CampaignError, CampaignSpec, RunSpec
+from repro.describe.spec import PipelineSpec
+from repro.processors.registry import get_entry, processor_names, supported_kernels
+from repro.workloads.kernels import kernel_source
+from repro.workloads.registry import workload_names
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The expanded campaign: every run to perform, plus what was dropped."""
+
+    spec: CampaignSpec
+    runs: tuple
+    #: ``(processor, workload, reason)`` triples the grid skipped.
+    skipped: tuple
+
+    @property
+    def fingerprints(self):
+        return tuple(run.fingerprint() for run in self.runs)
+
+    def run_ids(self):
+        return tuple(run.run_id for run in self.runs)
+
+
+def resolve_processors(spec):
+    """The processor axis as ``(name, inline_spec_or_None)`` pairs."""
+    resolved = []
+    for entry in spec.processors:
+        if isinstance(entry, PipelineSpec):
+            resolved.append((entry.name, entry))
+        elif entry == ALL:
+            resolved.extend((name, None) for name in processor_names())
+        else:
+            get_entry(entry)  # raises UnknownNameError (with suggestions) on typos
+            resolved.append((entry, None))
+    return tuple(resolved)
+
+
+def campaign_processors(spec):
+    """Just the resolved processor names (for model-only parameter grids)."""
+    return tuple(name for name, _ in resolve_processors(spec))
+
+
+def resolve_workloads(spec):
+    """The workload axis as a tuple of validated kernel names."""
+    resolved = []
+    for entry in spec.workloads:
+        if entry == ALL:
+            resolved.extend(workload_names())
+        else:
+            kernel_source(entry, 1)  # raises UnknownNameError on typos
+            resolved.append(entry)
+    return tuple(resolved)
+
+
+def plan_campaign(spec):
+    """Validate ``spec`` and expand it into a :class:`CampaignPlan`.
+
+    Grid order is deterministic: processors (axis order) × workloads ×
+    scales × engine variants × repeats, then the explicit runs.  A model
+    declaring an ISA subset (e.g. the Figure 4/5 ``example``) is paired
+    only with the kernels it supports; the dropped pairs are recorded in
+    :attr:`CampaignPlan.skipped` rather than silently vanishing.
+    """
+    if not isinstance(spec, CampaignSpec):
+        raise CampaignError("plan_campaign expects a CampaignSpec, got %r" % (spec,))
+    spec.validate()
+
+    processors = resolve_processors(spec)
+    workloads = resolve_workloads(spec)
+    variants = spec.engine_variants()
+
+    runs = []
+    skipped = []
+    for processor, inline_spec in processors:
+        if inline_spec is None:
+            usable = set(supported_kernels(processor, workloads))
+        else:
+            # Inline specs carry no kernel metadata; the author vouches for
+            # ISA coverage (elaboration rejects unknown operation classes).
+            usable = set(workloads)
+        for workload in workloads:
+            if workload not in usable:
+                skipped.append(
+                    (processor, workload, "model does not support this kernel")
+                )
+                continue
+            for scale in spec.scales:
+                for variant in variants:
+                    for repeat in range(spec.repeats):
+                        runs.append(
+                            RunSpec(
+                                processor=processor,
+                                workload=workload,
+                                scale=scale,
+                                engine=variant,
+                                max_cycles=spec.max_cycles,
+                                max_instructions=spec.max_instructions,
+                                repeat=repeat,
+                                processor_spec=inline_spec,
+                            )
+                        )
+    for run in spec.runs:
+        # Fail explicit runs at planning time, not on a worker: resolve
+        # registry names (UnknownNameError carries suggestions) up front.
+        if run.processor_spec is None:
+            get_entry(run.processor)
+        kernel_source(run.workload, 1)
+        runs.append(run)
+
+    if not runs:
+        raise CampaignError(
+            "campaign %r plans zero runs (empty axis, or every "
+            "processor/workload pairing skipped: %s)"
+            % (spec.name, ", ".join("%s/%s" % pair[:2] for pair in skipped) or "<none>")
+        )
+    seen = set()
+    for run in runs:
+        if run.run_id in seen:
+            raise CampaignError(
+                "campaign %r plans duplicate run %r" % (spec.name, run.run_id)
+            )
+        seen.add(run.run_id)
+    return CampaignPlan(spec=spec, runs=tuple(runs), skipped=tuple(skipped))

@@ -1,0 +1,272 @@
+"""Campaign execution: worker-pool orchestration with incremental skip.
+
+:func:`execute_run` performs exactly the steps of a direct
+:func:`repro.analysis.metrics.run_processor` call — build the model from
+its description, load the workload, run to completion — so per-run
+statistics are bit-identical whether a run executes inline, on a worker,
+or was stored by an earlier campaign.  :func:`run_campaign` plans a
+:class:`~repro.campaign.spec.CampaignSpec`, serves every already-stored
+fingerprint from the :class:`~repro.campaign.store.ResultStore`, and fans
+the remainder out over a ``multiprocessing`` pool (``max_workers=1`` runs
+in-process, for determinism hunting and debuggers).
+
+Workers receive only plain-data :class:`~repro.campaign.spec.RunSpec`s and
+rebuild processors from their specs, so nothing unpicklable ever crosses
+the process boundary and any start method works.  The platform default is
+used unless ``mp_context`` overrides it; under a "spawn" start method the
+orchestrating ``__main__`` must be importable (the standard
+multiprocessing guard), which the CLI and pytest entry points are.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.campaign.planner import plan_campaign
+from repro.campaign.spec import CampaignError, RunSpec
+from repro.campaign.store import ResultStore, RunResult
+
+
+def build_run_processor(run):
+    """Build the processor a :class:`RunSpec` describes, ready to load a program."""
+    options = run.engine.resolved_options()
+    if run.processor_spec is not None:
+        from repro.describe.elaborate import elaborate
+
+        return elaborate(
+            run.processor_spec,
+            engine_options=options,
+            use_decode_cache=run.engine.use_decode_cache,
+        )
+    from repro.processors.registry import build_processor
+
+    return build_processor(
+        run.processor,
+        engine_options=options,
+        use_decode_cache=run.engine.use_decode_cache,
+    )
+
+
+def execute_run(run, campaign=""):
+    """Execute one run and return its structured :class:`RunResult`.
+
+    This is the single execution path of the subsystem: the worker pool,
+    the in-process fallback and the benchmark harness all call it, which
+    is what keeps campaign statistics bit-identical to direct
+    ``run_processor`` calls.
+    """
+    from repro.workloads.registry import get_workload
+
+    processor = build_run_processor(run)
+    workload = get_workload(run.workload, scale=run.scale)
+    processor.load_program(workload.program)
+    start = time.perf_counter()
+    stats = processor.run(
+        max_cycles=run.max_cycles, max_instructions=run.max_instructions
+    )
+    wall = time.perf_counter() - start
+
+    summary = stats.summary()
+    summary["retired_by_class"] = dict(stats.retired_by_class)
+    return RunResult(
+        fingerprint=run.fingerprint(),
+        campaign=campaign,
+        run_id=run.run_id,
+        processor=run.processor,
+        workload=run.workload,
+        scale=run.scale,
+        engine=run.engine.label,
+        backend=run.engine.backend,
+        repeat=run.repeat,
+        cycles=stats.cycles,
+        instructions=stats.instructions,
+        final_r0=processor.register(0),
+        finish_reason=stats.finish_reason,
+        wall_seconds=wall,
+        stats=summary,
+        generation=processor.generation_report.summary(),
+        worker_pid=os.getpid(),
+    )
+
+
+@dataclass
+class _RunFailure:
+    """A worker-side exception, reduced to picklable data."""
+
+    run_id: str
+    error: str
+    details: str
+
+
+def _pool_init(sys_path):
+    # Spawned workers start a fresh interpreter that knows nothing about a
+    # PYTHONPATH=src-style parent; mirroring the parent's sys.path makes the
+    # repro package importable however the orchestrator found it.
+    sys.path[:] = sys_path
+
+
+def _pool_worker(payload):
+    run, campaign = payload
+    try:
+        return execute_run(run, campaign=campaign)
+    except Exception as error:  # surfaced collectively by run_campaign
+        return _RunFailure(
+            run_id=run.run_id,
+            error="%s: %s" % (type(error).__name__, error),
+            details=traceback.format_exc(),
+        )
+
+
+@dataclass
+class CampaignReport:
+    """What :func:`run_campaign` did: every result plus the execution split."""
+
+    spec: object
+    plan: object
+    results: tuple = ()
+    executed: int = 0
+    cached: int = 0
+    wall_seconds: float = 0.0
+    store_path: str = None
+
+    @property
+    def skipped(self):
+        return self.plan.skipped
+
+    def summary(self):
+        return {
+            "campaign": self.spec.name,
+            "planned": len(self.plan.runs),
+            "executed": self.executed,
+            "cached": self.cached,
+            "skipped_pairs": len(self.plan.skipped),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "store": self.store_path,
+        }
+
+
+def _coerce_store(store):
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)
+
+
+def run_campaign(
+    spec,
+    store=None,
+    max_workers=None,
+    mp_context=None,
+    progress=None,
+):
+    """Plan and execute ``spec``, returning a :class:`CampaignReport`.
+
+    ``store`` is a :class:`ResultStore`, a directory path, or ``None`` for
+    a purely in-memory campaign.  Runs whose fingerprint the store already
+    holds are served from it without simulating; everything else executes
+    on a pool of ``max_workers`` processes (default: one per host CPU,
+    capped by the number of pending runs; ``1`` stays in-process).
+    ``progress``, when given, is called as ``progress(result)`` after each
+    run completes or is served from the store.
+    """
+    start = time.perf_counter()
+    plan = plan_campaign(spec)
+    store = _coerce_store(store)
+    stored = store.load() if store is not None else {}
+
+    pending = []
+    by_fingerprint = {}
+    cached = 0
+    for run in plan.runs:
+        fingerprint = run.fingerprint()
+        hit = stored.get(fingerprint)
+        if hit is not None:
+            hit.cached = True
+            by_fingerprint[fingerprint] = hit
+            cached += 1
+            if progress is not None:
+                progress(hit)
+        else:
+            pending.append((fingerprint, run))
+
+    if max_workers is None:
+        max_workers = min(len(pending), os.cpu_count() or 1) or 1
+
+    def record(fingerprint, result):
+        if isinstance(result, _RunFailure):
+            return result
+        by_fingerprint[fingerprint] = result
+        if store is not None:
+            store.append(result)
+        if progress is not None:
+            progress(result)
+        return None
+
+    failures = []
+    if pending:
+        if max_workers <= 1 or len(pending) == 1:
+            for fingerprint, run in pending:
+                failure = record(fingerprint, _pool_worker((run, spec.name)))
+                if failure is not None:
+                    failures.append(failure)
+        else:
+            context = multiprocessing.get_context(mp_context)
+            payloads = [(run, spec.name) for _, run in pending]
+            fingerprint_of = {run.run_id: fp for fp, run in pending}
+            with context.Pool(
+                processes=max_workers,
+                initializer=_pool_init,
+                initargs=(list(sys.path),),
+            ) as pool:
+                for result in pool.imap_unordered(_pool_worker, payloads):
+                    key = (
+                        result.run_id
+                        if isinstance(result, (RunResult, _RunFailure))
+                        else None
+                    )
+                    failure = record(fingerprint_of.get(key), result)
+                    if failure is not None:
+                        failures.append(failure)
+
+    if failures:
+        lines = ["campaign %r: %d run(s) failed" % (spec.name, len(failures))]
+        for failure in failures:
+            lines.append("  %s: %s" % (failure.run_id, failure.error))
+        lines.append(failures[0].details)
+        raise CampaignError("\n".join(lines))
+
+    results = tuple(by_fingerprint[run.fingerprint()] for run in plan.runs)
+    return CampaignReport(
+        spec=spec,
+        plan=plan,
+        results=results,
+        executed=len(pending),
+        cached=cached,
+        wall_seconds=time.perf_counter() - start,
+        store_path=store.path if store is not None else None,
+    )
+
+
+def run_single(
+    processor,
+    workload,
+    scale=1,
+    engine="interpreted",
+    max_cycles=None,
+    max_instructions=None,
+):
+    """Convenience: execute one ad-hoc run outside any campaign."""
+    run = RunSpec(
+        processor=processor if isinstance(processor, str) else processor.name,
+        workload=workload,
+        scale=scale,
+        engine=engine,
+        max_cycles=max_cycles,
+        max_instructions=max_instructions,
+        processor_spec=None if isinstance(processor, str) else processor,
+    )
+    return execute_run(run)

@@ -1,0 +1,139 @@
+"""Content-addressed, append-only persistence for campaign results.
+
+A :class:`ResultStore` is a directory holding one JSON-lines file
+(``results.jsonl``): one line per completed run, keyed by the run's
+content fingerprint.  Appending is the only write operation, so a store
+survives interrupted campaigns (every line already written is a finished
+run) and re-running a campaign against the same store skips every
+fingerprint it already holds — incremental experiments for free.
+
+The store is written from the orchestrating process only (workers hand
+results back over the pool), so no cross-process locking is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+RESULTS_FILENAME = "results.jsonl"
+
+
+@dataclass
+class RunResult:
+    """The structured outcome of one simulation run.
+
+    ``stats`` is the engine's statistics summary (cycles, CPI, stalls,
+    retirement counters); ``generation`` is the
+    :class:`~repro.core.generator.GenerationReport` summary, which carries
+    the schedule/plan cache hit indicators.  ``cached`` is transient: it
+    marks results served from a store instead of executed, and is never
+    persisted as ``True``.
+    """
+
+    fingerprint: str
+    campaign: str
+    run_id: str
+    processor: str
+    workload: str
+    scale: int
+    engine: str
+    backend: str
+    repeat: int
+    cycles: int
+    instructions: int
+    final_r0: int
+    finish_reason: str
+    wall_seconds: float
+    stats: dict = field(default_factory=dict)
+    generation: dict = field(default_factory=dict)
+    worker_pid: int = 0
+    cached: bool = False
+
+    @property
+    def cpi(self):
+        if self.instructions == 0:
+            return float("inf")
+        return self.cycles / self.instructions
+
+    @property
+    def cycles_per_second(self):
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cycles / self.wall_seconds
+
+    def to_json_dict(self):
+        data = asdict(self)
+        data.pop("cached")
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data):
+        known = {name for name in cls.__dataclass_fields__ if name != "cached"}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+class ResultStore:
+    """Fingerprint-keyed store of :class:`RunResult`s on disk.
+
+    The in-memory index is loaded lazily and kept in sync with appends;
+    on duplicate fingerprints (e.g. a store written by two concurrent
+    campaigns) the last line wins, matching the append order.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._index = None
+
+    @property
+    def results_path(self):
+        return os.path.join(self.path, RESULTS_FILENAME)
+
+    def _ensure_loaded(self):
+        if self._index is not None:
+            return self._index
+        index = {}
+        try:
+            with open(self.results_path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    result = RunResult.from_json_dict(json.loads(line))
+                    index[result.fingerprint] = result
+        except FileNotFoundError:
+            pass
+        self._index = index
+        return index
+
+    def load(self):
+        """The full fingerprint → :class:`RunResult` index (reads the file once)."""
+        return dict(self._ensure_loaded())
+
+    def refresh(self):
+        """Drop the in-memory index; the next access re-reads the file."""
+        self._index = None
+
+    def append(self, result):
+        """Persist one result (one JSON line, flushed before returning)."""
+        os.makedirs(self.path, exist_ok=True)
+        with open(self.results_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(result.to_json_dict(), sort_keys=True) + "\n")
+        self._ensure_loaded()[result.fingerprint] = result
+
+    def get(self, fingerprint):
+        return self._ensure_loaded().get(fingerprint)
+
+    def __contains__(self, fingerprint):
+        return fingerprint in self._ensure_loaded()
+
+    def __len__(self):
+        return len(self._ensure_loaded())
+
+    def results(self):
+        """All stored results, in insertion order."""
+        return tuple(self._ensure_loaded().values())
+
+    def fingerprints(self):
+        return tuple(self._ensure_loaded())

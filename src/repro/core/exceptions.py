@@ -21,19 +21,32 @@ class UnknownNameError(KeyError):
     """A registry lookup failed; the message lists every valid name.
 
     Shared by the processor and workload registries so both produce the
-    same actionable error shape: what was asked for, what exists.
+    same actionable error shape: what was asked for, what exists, and —
+    when the requested name is a near-miss of a registered one — which
+    name was probably meant.
     """
 
     def __init__(self, kind, name, valid):
+        import difflib
+
         self.kind = kind
         self.name = name
         self.valid = tuple(valid)
+        self.suggestions = (
+            tuple(difflib.get_close_matches(name, self.valid, n=3, cutoff=0.6))
+            if isinstance(name, str)
+            else ()
+        )
         message = "unknown %s %r; registered %ss: %s" % (
             kind,
             name,
             kind,
             ", ".join(self.valid) or "<none>",
         )
+        if self.suggestions:
+            message += "; did you mean %s?" % " or ".join(
+                repr(match) for match in self.suggestions
+            )
         super().__init__(message)
         self._message = message
 

@@ -5,8 +5,19 @@ when the declarative description layer was introduced (the substrate sits
 *below* the spec/semantics/elaborator stack, and keeping it under
 ``repro.processors`` created an import cycle).  Import from
 ``repro.describe.substrate`` in new code; this module re-exports the public
-names so existing imports keep working.
+names so existing imports keep working, but emits a
+:class:`DeprecationWarning` on import and will be removed in a future
+release.
 """
+
+import warnings
+
+warnings.warn(
+    "repro.processors.common is a deprecated shim; import from "
+    "repro.describe.substrate instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.describe.substrate import (
     ArmDecodeContext,
