@@ -56,7 +56,7 @@ Sub-packages
     tables, and driven from the ``python -m repro.campaign`` CLI.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "core",

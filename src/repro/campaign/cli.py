@@ -54,21 +54,51 @@ def _grid_arguments(parser):
     )
 
 
+def _scales(value):
+    scales = []
+    for part in _split(value):
+        try:
+            scales.append(int(part))
+        except ValueError:
+            raise CampaignError(
+                "bad --scales entry %r (need a comma-separated list of "
+                "positive integers, e.g. --scales 1,4)" % part
+            ) from None
+    return tuple(scales)
+
+
 def _spec_from_args(args):
     if args.spec:
-        with open(args.spec, encoding="utf-8") as handle:
-            return CampaignSpec.from_dict(json.load(handle))
-    spec = CampaignSpec(
-        name=args.name,
-        processors=_split(args.processors),
-        workloads=_split(args.workloads),
-        scales=tuple(int(scale) for scale in _split(args.scales)),
-        engines=_split(args.engines),
-        repeats=args.repeats,
-        max_cycles=args.max_cycles,
-        max_instructions=args.max_instructions,
-    )
-    spec.validate()
+        try:
+            with open(args.spec, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise CampaignError("cannot read --spec file: %s" % error) from None
+        except json.JSONDecodeError as error:
+            raise CampaignError(
+                "--spec file %s is not valid JSON: %s" % (args.spec, error)
+            ) from None
+        spec = CampaignSpec.from_dict(data)
+    else:
+        spec = CampaignSpec(
+            name=args.name,
+            processors=_split(args.processors),
+            workloads=_split(args.workloads),
+            scales=_scales(args.scales),
+            engines=_split(args.engines),
+            repeats=args.repeats,
+            max_cycles=args.max_cycles,
+            max_instructions=args.max_instructions,
+        )
+        spec.validate()
+    # Resolve registry names now, while we are still parsing arguments:
+    # a typo in --processors/--workloads (or in a spec file) dies here
+    # with the registry's did-you-mean suggestions instead of surfacing
+    # later from a planner or worker stack.
+    from repro.campaign.planner import resolve_processors, resolve_workloads
+
+    resolve_processors(spec)
+    resolve_workloads(spec)
     return spec
 
 

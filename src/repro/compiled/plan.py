@@ -76,6 +76,9 @@ class CompiledPlan:
     guard_free_transitions: int = 0
     capacity_free_transitions: int = 0
     single_stage_capacity_transitions: int = 0
+    #: Transitions whose guard is a multi-issue gate (never guard-free: the
+    #: gate must consult the issue arbiter each attempt).
+    issue_gated_transitions: int = 0
     dispatch_entries: int = 0
     nonempty_dispatch_entries: int = 0
     #: "hit" / "miss" for fingerprinted models, "uncached" for hand-built nets.
@@ -87,6 +90,7 @@ class CompiledPlan:
             "guard_free_transitions": self.guard_free_transitions,
             "capacity_free_transitions": self.capacity_free_transitions,
             "single_stage_capacity_transitions": self.single_stage_capacity_transitions,
+            "issue_gated_transitions": self.issue_gated_transitions,
             "dispatch_entries": self.dispatch_entries,
             "nonempty_dispatch_entries": self.nonempty_dispatch_entries,
             "places_compiled": len(self.place_steps),
@@ -189,6 +193,8 @@ def compile_transition(engine, transition, plan=None, shape=None):
         plan.transitions_compiled += 1
         if guard is None:
             plan.guard_free_transitions += 1
+        elif getattr(guard, "issue_gate", False):
+            plan.issue_gated_transitions += 1
         if capacity_stage is None and needed is None:
             plan.capacity_free_transitions += 1
         elif capacity_stage is not None:
@@ -233,6 +239,7 @@ def compile_transition(engine, transition, plan=None, shape=None):
                 reservation.delay_override = None
             else:
                 reservation = ReservationToken(tag=name)
+            reservation.producer_seq = token.seq if token is not None else None
             deposit(reservation, place, delay)
         queue = engine._emission_queue
         if queue:

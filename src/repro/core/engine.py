@@ -107,6 +107,15 @@ class EngineContext:
         """Flush every place assigned to ``stage`` (wrong-path squash)."""
         return self._engine.flush_stage(stage)
 
+    def flush_younger(self, seq):
+        """Squash every in-flight instruction fetched after sequence ``seq``.
+
+        Program-order squash for redirects in multi-issue models, where a
+        wrong-path instruction may share a stage with the redirecting one
+        and stage-granular flushes would be either too wide or too narrow.
+        """
+        return self._engine.flush_younger(seq)
+
     def stop(self, reason="halt"):
         """Request the end of simulation once the pipeline drains."""
         self._engine.request_halt(reason)
@@ -181,6 +190,38 @@ class SimulationEngine:
             squashed += self.flush_place(place)
         return squashed
 
+    def flush_younger(self, seq):
+        """Squash every in-flight instruction token with ``token.seq > seq``.
+
+        Token sequence numbers are assigned at creation, which for
+        instruction tokens is fetch order; squashing by sequence therefore
+        removes exactly the wrong-path (younger) instructions no matter
+        which stages they reached.  Reservation tokens *deposited by* a
+        squashed instruction (``producer_seq``) are withdrawn with it — a
+        wrong-path taken branch must not leave its fetch-stall reservation
+        behind, or fetch would stay disabled forever.  Redirects are rare,
+        so the full place walk stays off the per-cycle hot path of both
+        backends.
+        """
+        squashed = 0
+        for place in self.net.places.values():
+            if place.is_end:
+                continue
+            for token in place.all_tokens():
+                if token.is_instruction:
+                    if token.seq > seq:
+                        place.remove(token)
+                        token.squashed = True
+                        token.release_reservations()
+                        squashed += 1
+                else:
+                    producer = getattr(token, "producer_seq", None)
+                    if producer is not None and producer > seq:
+                        place.remove(token)
+                        self._recycle_reservation(token)
+        self.stats.squashed += squashed
+        return squashed
+
     def request_halt(self, reason="halt"):
         self.halt_requested = True
         self.halt_reason = reason
@@ -248,7 +289,11 @@ class SimulationEngine:
             if transition.target is not None:
                 self._deposit(token, transition.target, transition.delay)
         for arc in transition.reservation_outputs:
-            self._deposit(ReservationToken(tag=transition.name), arc.place, transition.delay)
+            reservation = ReservationToken(
+                tag=transition.name,
+                producer_seq=token.seq if token is not None else None,
+            )
+            self._deposit(reservation, arc.place, transition.delay)
 
         if self._emission_queue:
             emissions, self._emission_queue = self._emission_queue, []

@@ -247,7 +247,13 @@ class RCPN:
         return True
 
     def reset(self):
-        """Clear all dynamic state (tokens, stage occupancy, register writers)."""
+        """Clear all dynamic state (tokens, stage occupancy, register writers).
+
+        Units that are pure per-run bookkeeping (``clears_with_net = True``,
+        e.g. the multi-issue :class:`~repro.describe.substrate.IssueControl`)
+        are reset here too; memory images and learned predictor state are
+        the :class:`~repro.describe.substrate.Processor` facade's business.
+        """
         for place in self.places.values():
             place.tokens = []
             place.pending = []
@@ -255,6 +261,9 @@ class RCPN:
             stage.reset()
         for regfile in self.register_files.values():
             regfile.writers = [None] * regfile.size
+        for unit in self.units.values():
+            if getattr(unit, "clears_with_net", False):
+                unit.reset()
 
     def __repr__(self):
         size = self.complexity()

@@ -162,6 +162,15 @@ class RegRef(Operand):
         Without ``state`` the architectural register value is read; with
         ``state`` the pending writer's internal value is forwarded.  Returns
         the value read.
+
+        Reading only latches: it deliberately does *not* mark the RegRef as
+        having produced a value (:attr:`has_value`).  A flag-setting ALU
+        instruction reads the previous flags through the same RegRef it
+        will later write; were the latch to count as production, a
+        same-cycle younger reader (possible under multi-issue) would see
+        ``writer.has_value`` and forward the *stale* operand as if it were
+        the writer's result.  Only the :attr:`value` setter — an actual
+        result — makes the reference forwardable.
         """
         if state is None:
             if not self.can_read():
@@ -178,7 +187,6 @@ class RegRef(Operand):
                     "guard the arc with can_read(%r)" % (state, self.register.name, state)
                 )
             self._value = writer.internal_value
-        self._has_value = True
         return self._value
 
     # -- write side ------------------------------------------------------
@@ -231,6 +239,12 @@ class RegRef(Operand):
 
     @property
     def has_value(self):
+        """True once the owning instruction *produced* a value.
+
+        This is the bypass network's forwardability condition: latching an
+        operand with :meth:`read` does not count (see there), only the
+        :attr:`value` setter does.
+        """
         return self._has_value
 
     @property

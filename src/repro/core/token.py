@@ -47,13 +47,23 @@ class Token:
 
 
 class ReservationToken(Token):
-    """A dataless token marking its place's pipeline stage as occupied."""
+    """A dataless token marking its place's pipeline stage as occupied.
 
-    __slots__ = ("tag",)
+    ``producer_seq`` records the sequence number of the instruction token
+    whose transition deposited the reservation (``None`` for generator
+    transitions).  It is the provenance the program-order squash
+    (:meth:`~repro.core.engine.SimulationEngine.flush_younger`) needs: when
+    a deep redirect squashes a wrong-path branch that already parked a
+    fetch-stall reservation, the reservation must be withdrawn with it or
+    the fetch guard it disables would block forever.
+    """
 
-    def __init__(self, tag=None):
+    __slots__ = ("tag", "producer_seq")
+
+    def __init__(self, tag=None, producer_seq=None):
         super().__init__()
         self.tag = tag
+        self.producer_seq = producer_seq
 
 
 class InstructionToken(Token):

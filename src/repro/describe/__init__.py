@@ -8,7 +8,8 @@ package is that description layer:
 * :mod:`repro.describe.spec` — the pure-data vocabulary
   (:class:`PipelineSpec`, :class:`StageSpec`, :class:`OpClassPathSpec`,
   :class:`TransitionSpec`, :class:`HazardSpec`, :class:`FetchSpec`,
-  :class:`PredictorSpec`) plus validation and a stable content
+  :class:`PredictorSpec`, :class:`IssueSpec`/:class:`IssuePortSpec` for
+  multi-issue pipelines) plus validation and a stable content
   :meth:`~spec.PipelineSpec.fingerprint`;
 * :mod:`repro.describe.semantics` — the shared ARM guard/action hook
   factories the specs reference by name;
@@ -25,6 +26,8 @@ from repro.describe.semantics import ArmSemantics, Hook
 from repro.describe.spec import (
     FetchSpec,
     HazardSpec,
+    IssuePortSpec,
+    IssueSpec,
     OpClassPathSpec,
     PipelineSpec,
     PlaceSpec,
@@ -34,12 +37,16 @@ from repro.describe.spec import (
     TransitionSpec,
     linear_path,
 )
+from repro.describe.substrate import IssueControl
 
 __all__ = [
     "ArmSemantics",
     "FetchSpec",
     "HazardSpec",
     "Hook",
+    "IssueControl",
+    "IssuePortSpec",
+    "IssueSpec",
     "OpClassPathSpec",
     "PipelineSpec",
     "PlaceSpec",

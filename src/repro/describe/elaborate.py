@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.describe.semantics import ArmSemantics
 from repro.describe.spec import PipelineSpec
 from repro.describe.substrate import (
+    IssueControl,
     Processor,
     make_arm_model_parts,
     make_decoder,
@@ -58,8 +59,25 @@ def elaborate_net(spec, memory_config=None, use_decode_cache=True, semantics_cla
         net.add_stage(stage.name, capacity=stage.capacity, delay=stage.delay)
 
     decoder = make_decoder(net, context, use_cache=use_decode_cache)
+
+    # -- multi-issue arbitration ------------------------------------------
+    issue = spec.issue
+    issue_control = None
+    if issue.multi:
+        issue_control = IssueControl(
+            issue.width, in_order=issue.in_order, port_limits=issue.port_limits()
+        )
+        net.add_unit("issue_control", issue_control)
+    port_of = issue.port_of()
+
     semantics = semantics_class(
-        spec, net=net, core=core, memory=memory, decoder=decoder, predictor=predictor
+        spec,
+        net=net,
+        core=core,
+        memory=memory,
+        decoder=decoder,
+        predictor=predictor,
+        issue_control=issue_control,
     )
 
     # -- instruction-independent sub-net: fetch ---------------------------
@@ -73,6 +91,7 @@ def elaborate_net(spec, memory_config=None, use_decode_cache=True, semantics_cla
         guard=fetch_guard,
         action=fetch_action,
         capacity_stages=[capacity_stage],
+        max_firings_per_cycle=issue.width,
     )
 
     # -- one sub-net per operation-class path -----------------------------
@@ -84,8 +103,26 @@ def elaborate_net(spec, memory_config=None, use_decode_cache=True, semantics_cla
         places["end"] = net.add_place("end", subnet)
         for extra in path.extra_places:
             places[extra.key] = net.add_place(extra.stage, subnet, name=extra.name)
+        pre_issue = (
+            set(path.stages[: path.stages.index(issue.stage)])
+            if issue_control is not None
+            else set()
+        )
         for tspec in path.transitions:
             guard, action = semantics.resolve(tspec.hooks)
+            if issue_control is not None:
+                source_stage = places[tspec.source].stage
+                if source_stage.name == issue.stage:
+                    # Every transition leaving the issue stage is an issue
+                    # point: gate it on the per-cycle issue bandwidth (and
+                    # the class's port, if one constrains it).
+                    guard, action = semantics.issue_gate(
+                        guard, action, port_of.get(path.opclass)
+                    )
+                elif source_stage.name in pre_issue:
+                    # Front-end transfers must not overtake an older
+                    # instruction (in-order issue).
+                    guard = semantics.advance_gate(guard, source_stage)
             net.add_transition(
                 tspec.name,
                 subnet,

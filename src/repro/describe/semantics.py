@@ -74,13 +74,14 @@ class ArmSemantics:
     elaborator accepts the class via its ``semantics_class`` argument.
     """
 
-    def __init__(self, spec, net, core, memory, decoder, predictor=None):
+    def __init__(self, spec, net, core, memory, decoder, predictor=None, issue_control=None):
         self.spec = spec
         self.net = net
         self.core = core
         self.memory = memory
         self.decoder = decoder
         self.predictor = predictor
+        self.issue_control = issue_control
         self.forward_states = tuple(spec.hazards.forward_states)
         self.front_flush_stages = tuple(spec.hazards.front_flush_stages)
         self.redirect_flush_stages = tuple(spec.hazards.redirect_flush_stages)
@@ -136,14 +137,25 @@ class ArmSemantics:
         for stage in self.front_flush_stages:
             ctx.flush_stage(stage)
 
-    def backend_redirect(self, ctx, target):
+    def backend_redirect(self, ctx, target, token=None):
         """Redirect fetching after a PC write deep in the pipeline.
 
-        Every younger instruction still in the flushed stages is on the
-        wrong path.
+        Every instruction younger than the redirecting ``token`` is on the
+        wrong path, wherever it got to — including a fetch-stall
+        reservation a squashed wrong-path branch already parked — so the
+        squash is by program order (:meth:`EngineContext.flush_younger`),
+        not by stage.  No static stage set fits every redirect: the BTB
+        alias recovery redirects at *issue*, where everything downstream is
+        older and must survive, while a PC-writing writeback redirects at
+        the *back* of the pipe, where stage-mates may already be younger
+        (multi-issue).  ``redirect_flush_stages`` remains the fallback for
+        redirects with no originating token.
         """
-        for stage in self.redirect_flush_stages:
-            ctx.flush_stage(stage)
+        if token is not None:
+            ctx.flush_younger(token.seq)
+        else:
+            for stage in self.redirect_flush_stages:
+                ctx.flush_stage(stage)
         self.core.redirect(target)
 
     def _with_recovery(self, action):
@@ -155,10 +167,60 @@ class ArmSemantics:
         def recovered(t, ctx, _action=action):
             if t.annotations.get("predicted_taken"):
                 # A BTB alias redirected fetch after a non-branch: recover.
-                backend_redirect(ctx, (t.pc + 4) & 0xFFFFFFFF)
+                backend_redirect(ctx, (t.pc + 4) & 0xFFFFFFFF, t)
             _action(t, ctx)
 
         return recovered
+
+    # -- multi-issue gating ---------------------------------------------------
+    def issue_gate(self, guard, action, port=None):
+        """Wrap a resolved ``(guard, action)`` pair with the issue arbiter.
+
+        The elaborator applies this to every transition leaving the issue
+        stage of a multi-issue spec: the guard additionally requires
+        :meth:`~repro.describe.substrate.IssueControl.may_issue` and the
+        action books the slot via ``note_issue`` before the original
+        behaviour runs.  The wrapped guard carries an ``issue_gate`` marker
+        so the compiled planner can report how many transitions were gated.
+        """
+        control = self.issue_control
+
+        if guard is None:
+            def gated_guard(t, ctx):
+                return control.may_issue(t, ctx, port)
+        else:
+            def gated_guard(t, ctx, _guard=guard):
+                return control.may_issue(t, ctx, port) and _guard(t, ctx)
+
+        if action is None:
+            def gated_action(t, ctx):
+                control.note_issue(t, ctx, port)
+        else:
+            def gated_action(t, ctx, _action=action):
+                control.note_issue(t, ctx, port)
+                _action(t, ctx)
+
+        gated_guard.issue_gate = True
+        return gated_guard, gated_action
+
+    def advance_gate(self, guard, source_stage):
+        """Wrap a pre-issue transfer guard with the order-preserving rule.
+
+        Applied by the elaborator to every transition of a multi-issue spec
+        whose source stage precedes the issue stage on its path; see
+        :meth:`~repro.describe.substrate.IssueControl.may_advance`.
+        """
+        control = self.issue_control
+
+        if guard is None:
+            def gated_guard(t, _ctx):
+                return control.may_advance(t, source_stage)
+        else:
+            def gated_guard(t, ctx, _guard=guard):
+                return control.may_advance(t, source_stage) and _guard(t, ctx)
+
+        gated_guard.advance_gate = True
+        return gated_guard
 
     # -- fetch ---------------------------------------------------------------
     def fetch_hook(self, fetch_spec):
@@ -166,6 +228,7 @@ class ArmSemantics:
         core = self.core
         memory = self.memory
         decoder = self.decoder
+        issue_control = self.issue_control
 
         if fetch_spec.style == "btb":
             btb = self.predictor
@@ -185,6 +248,8 @@ class ArmSemantics:
                 else:
                     core.redirect(pc + 4)
                 core.sequence += 1
+                if issue_control is not None:
+                    issue_control.note_fetch(token)
                 ctx.emit(token)
 
             return fetch_guard, fetch_action
@@ -208,12 +273,16 @@ class ArmSemantics:
             word = memory.read_word(pc)
             token = decoder.decode_word(word, pc=pc)
             token.delay = memory.instruction_delay(pc)
+            if issue_control is not None:
+                issue_control.note_fetch(token)
             ctx.emit(token)
 
         return fetch_guard, fetch_action
 
     # -- hook installation ---------------------------------------------------
     def _install_hooks(self):
+        from repro.isa.registers import PC
+
         FWD = self.forward_states
         core = self.core
         memory = self.memory
@@ -222,9 +291,26 @@ class ArmSemantics:
         front_flush = self.front_flush
         backend_redirect = self.backend_redirect
         register = self.register
+        gpr = net.register_files["gpr"]
+
+        def pc_free():
+            """Control interlock: no issue while a PC write is in flight.
+
+            A PC-writing instruction (``mov pc``, load-to-PC) holds a write
+            reservation on r15 from issue to writeback; everything fetched
+            behind it is wrong-path and will be squashed by the writeback
+            redirect.  Blocking younger *issue* until then keeps short-path
+            instructions (branch resolution, system ops) from completing —
+            or performing side effects — before the redirect reaches them.
+            The check is free on PC-write-free code: r15 simply never has a
+            pending writer.
+            """
+            return gpr.writers[PC] is None
 
         # ---- alu ----------------------------------------------------------
         def alu_issue_guard(t, _ctx):
+            if not pc_free():
+                return False
             if not token_flags_ready(t, FWD):
                 return False
             if not operands_ready((t.s1, t.s2), FWD):
@@ -265,7 +351,7 @@ class ArmSemantics:
             if t.writes_flags and t.fl.has_value:
                 t.fl.writeback()
             if "redirect" in t.annotations:
-                backend_redirect(ctx, t.annotations["redirect"])
+                backend_redirect(ctx, t.annotations["redirect"], t)
 
         register("alu.issue", alu_issue_guard, self._with_recovery(alu_issue_action))
         register("alu.execute", action=alu_execute_action)
@@ -275,6 +361,8 @@ class ArmSemantics:
         s1_state = self.s1_forward_state
 
         def alu_bypass_guard(t, _ctx):
+            if not pc_free():
+                return False
             if not token_flags_ready(t, FWD):
                 return False
             if not t.s2.can_read():
@@ -303,6 +391,8 @@ class ArmSemantics:
 
         # ---- mul ----------------------------------------------------------
         def mul_issue_guard(t, _ctx):
+            if not pc_free():
+                return False
             if not token_flags_ready(t, FWD):
                 return False
             if not operands_ready((t.s1, t.s2, t.acc), FWD):
@@ -356,6 +446,8 @@ class ArmSemantics:
 
         # ---- mem ----------------------------------------------------------
         def mem_issue_guard(t, _ctx):
+            if not pc_free():
+                return False
             if not token_flags_ready(t, FWD):
                 return False
             sources = [t.base, t.offset]
@@ -415,7 +507,7 @@ class ArmSemantics:
                 t.r.value = value
                 t.r.writeback()
                 if t.writes_pc:
-                    backend_redirect(ctx, value)
+                    backend_redirect(ctx, value, t)
             if t.updates_base:
                 t.base.value = t.annotations["updated_base"]
                 t.base.writeback()
@@ -457,6 +549,8 @@ class ArmSemantics:
 
         # ---- memm ---------------------------------------------------------
         def memm_issue_guard(t, _ctx):
+            if not pc_free():
+                return False
             if not token_flags_ready(t, FWD):
                 return False
             if not operand_ready(t.base, FWD):
@@ -521,7 +615,7 @@ class ArmSemantics:
                     if t.reg_indices[index] == 15:
                         redirect = value
                 if redirect is not None:
-                    backend_redirect(ctx, redirect)
+                    backend_redirect(ctx, redirect, t)
             if t.updates_base:
                 t.base.value = t.annotations["updated_base"]
                 t.base.writeback()
@@ -533,6 +627,8 @@ class ArmSemantics:
 
         # ---- branch -------------------------------------------------------
         def branch_taken_guard(t, _ctx):
+            if not pc_free():
+                return False
             if not token_flags_ready(t, FWD):
                 return False
             if t.link and not t.lr.can_write():
@@ -552,6 +648,8 @@ class ArmSemantics:
                 t.lr.value = (t.pc + 4) & 0xFFFFFFFF
 
         def branch_not_taken_guard(t, _ctx):
+            if not pc_free():
+                return False
             if not token_flags_ready(t, FWD):
                 return False
             if t.link and not t.lr.can_write():
@@ -566,6 +664,8 @@ class ArmSemantics:
                 predictor.record(t.pc, False)
 
         def branch_resolve_guard(t, _ctx):
+            if not pc_free():
+                return False
             if not token_flags_ready(t, FWD):
                 return False
             if t.link and not t.lr.can_write():
@@ -592,6 +692,8 @@ class ArmSemantics:
                 t.lr.value = (t.pc + 4) & 0xFFFFFFFF
 
         def branch_decode_fig5_guard(t, _ctx):
+            if not pc_free():
+                return False
             if not token_flags_ready(t, FWD):
                 return False
             if t.link and not t.lr.can_write():
@@ -627,7 +729,7 @@ class ArmSemantics:
 
         # ---- system -------------------------------------------------------
         def system_issue_guard(t, _ctx):
-            return token_flags_ready(t, FWD)
+            return pc_free() and token_flags_ready(t, FWD)
 
         def system_issue_action(t, ctx):
             executed = condition_holds(t, FWD)

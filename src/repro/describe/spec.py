@@ -109,21 +109,91 @@ class OpClassPathSpec:
 
 
 @dataclass(frozen=True)
+class IssuePortSpec:
+    """One issue port: a per-cycle issue budget shared by some classes.
+
+    ``classes`` lists the operation classes that must issue through this
+    port; ``count`` is how many of them may issue per cycle.  A single
+    data-cache port (``IssuePortSpec("dmem", classes=("mem", "memm"))``) is
+    the canonical example: a dual-issue front end may pair an ALU operation
+    with a load, but never two memory operations.
+    """
+
+    name: str
+    classes: tuple
+    count: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "classes", _tuple(self.classes))
+
+
+@dataclass(frozen=True)
+class IssueSpec:
+    """The issue discipline of the pipeline (single- or multi-issue).
+
+    * ``width`` — instructions issued (and fetched) per cycle.  The default
+      of 1 keeps the classic single-issue elaboration: no arbiter unit is
+      built and the generated net is identical to a pre-multi-issue spec.
+    * ``stage`` — the stage instructions issue *out of* (required when
+      ``width > 1``); every transition leaving a place of this stage is an
+      issue point and consumes one slot of the per-cycle issue bandwidth.
+    * ``in_order`` — enforce program-order issue: a younger instruction may
+      not issue while an older one is still waiting, even when the two sit
+      in different places of the issue stage.  This is what generalises the
+      RegRef reservation protocol beyond the single-issue structural
+      guarantee (see :class:`HazardSpec`): reservations are taken in fetch
+      order at the gate, so a young instruction can never read registers or
+      flags before a stalled older writer has reserved them.
+    * ``ports`` — per-class structural issue constraints
+      (:class:`IssuePortSpec`).
+    """
+
+    width: int = 1
+    stage: str = None
+    in_order: bool = True
+    ports: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "ports", tuple(self.ports))
+
+    @property
+    def multi(self):
+        """True when this spec actually requests multi-issue elaboration."""
+        return self.width > 1
+
+    def port_of(self):
+        """Operation class -> port name, derived from :attr:`ports`."""
+        return {cls: port.name for port in self.ports for cls in port.classes}
+
+    def port_limits(self):
+        """Port name -> per-cycle issue budget."""
+        return {port.name: port.count for port in self.ports}
+
+
+@dataclass(frozen=True)
 class HazardSpec:
     """Data-hazard and control-hazard configuration.
 
-    The RegRef reservation protocol assumes in-order issue at a single
-    pipeline depth: every path's issue/resolve hook should attach at the
-    same distance from fetch (as in all shipped models), otherwise a young
-    instruction can read registers or flags before a *stalled* older writer
-    has reserved them.
+    With the default single-issue :class:`IssueSpec`, the RegRef
+    reservation protocol assumes in-order issue at a single pipeline depth:
+    every path's issue/resolve hook should attach at the same distance from
+    fetch (as in all shipped models), otherwise a young instruction can
+    read registers or flags before a *stalled* older writer has reserved
+    them.  Multi-issue specs (``IssueSpec(width>1, in_order=True)``)
+    replace that structural assumption with an explicit program-order gate
+    at the issue stage, so reservations are taken in fetch order no matter
+    how the paths interleave.
 
     * ``forward_states`` — pipeline states whose pending results the bypass
       network may forward to the issue stage;
     * ``front_flush_stages`` — stages squashed when the front end is
       redirected at resolution time (taken branch / misprediction / halt);
-    * ``redirect_flush_stages`` — stages squashed when the PC is written
-      deep in the pipe (load-to-PC and friends);
+    * ``redirect_flush_stages`` — fallback stage set for PC writes deep in
+      the pipe (load-to-PC and friends).  Redirects that know their
+      originating token squash by *program order* instead
+      (``ctx.flush_younger``), which also withdraws fetch-stall
+      reservations parked by squashed wrong-path branches; the stage list
+      only serves token-less redirects from custom semantics;
     * ``s1_forward_state`` — the paper's Figure 5 restricted bypass: only
       the first ALU source may forward, and only from this state.
     """
@@ -180,6 +250,7 @@ class PipelineSpec:
     hazards: HazardSpec = field(default_factory=HazardSpec)
     fetch: FetchSpec = field(default_factory=FetchSpec)
     predictor: PredictorSpec = field(default_factory=PredictorSpec)
+    issue: IssueSpec = field(default_factory=IssueSpec)
     description: str = ""
 
     def __post_init__(self):
@@ -294,6 +365,64 @@ class PipelineSpec:
             problems.append("fetch stall stage %r is not declared" % self.fetch.stall_stage)
         if self.predictor.kind not in (None, "static_not_taken", "btb"):
             problems.append("unknown predictor kind %r" % self.predictor.kind)
+
+        issue = self.issue
+        if not isinstance(issue.width, int) or isinstance(issue.width, bool) or issue.width < 1:
+            problems.append("issue width %r is not a positive integer" % (issue.width,))
+        elif not issue.multi:
+            if issue.stage is not None or issue.ports:
+                problems.append(
+                    "issue stage/ports are only meaningful with issue width > 1"
+                )
+        else:
+            if issue.stage is None:
+                problems.append("multi-issue specs must declare the issue stage")
+            elif issue.stage not in stage_names:
+                problems.append("issue stage %r is not a declared stage" % issue.stage)
+            else:
+                for path in self.paths:
+                    # The in-order gate blocks younger instructions until every
+                    # older one has issued; a path that bypasses the issue
+                    # stage would starve the gate and deadlock the pipeline.
+                    if issue.stage not in path.stages:
+                        problems.append(
+                            "path %r never visits issue stage %r"
+                            % (path.opclass, issue.stage)
+                        )
+            port_names = set()
+            ported_classes = set()
+            for port in issue.ports:
+                if port.name in port_names:
+                    problems.append("duplicate issue port %r" % port.name)
+                port_names.add(port.name)
+                if (
+                    not isinstance(port.count, int)
+                    or isinstance(port.count, bool)
+                    or not 1 <= port.count
+                ):
+                    problems.append(
+                        "issue port %r count %r is not a positive integer"
+                        % (port.name, port.count)
+                    )
+                elif port.count > issue.width:
+                    problems.append(
+                        "issue port %r count %d exceeds the issue width %d"
+                        % (port.name, port.count, issue.width)
+                    )
+                if not port.classes:
+                    problems.append("issue port %r constrains no operation class" % port.name)
+                for cls in port.classes:
+                    if cls not in seen_opclasses:
+                        problems.append(
+                            "issue port %r names unknown operation class %r"
+                            % (port.name, cls)
+                        )
+                    if cls in ported_classes:
+                        problems.append(
+                            "operation class %r is constrained by more than one issue port"
+                            % cls
+                        )
+                    ported_classes.add(cls)
 
         if problems:
             raise SpecError(

@@ -16,6 +16,7 @@ This module provides what every ARM7-family model needs:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import replace
 
 from repro.core.decoder import InstructionDecoder
@@ -82,6 +83,122 @@ class ProcessorCore:
 
     def halt(self):
         self.halted = True
+
+
+# ---------------------------------------------------------------------------
+# Multi-issue arbitration
+# ---------------------------------------------------------------------------
+
+class IssueControl:
+    """Per-cycle issue-bandwidth arbiter of a multi-issue pipeline.
+
+    Like :class:`ProcessorCore`, this is a non-pipeline unit referenced by
+    transition guards/actions (paper Section 3).  The elaborator attaches
+    one to every model whose :class:`~repro.describe.spec.IssueSpec` has
+    ``width > 1`` and wraps each issue-stage transition with
+    :meth:`~repro.describe.semantics.ArmSemantics.issue_gate`, which pairs
+    :meth:`may_issue` in the guard with :meth:`note_issue` in the action.
+
+    Three constraints are arbitrated:
+
+    * at most ``width`` instructions issue per cycle;
+    * each issue port's per-cycle budget (``port_limits``) is respected;
+    * with ``in_order``, an instruction may issue only when it is the
+      oldest live un-issued instruction in the machine — the fetch hooks
+      register every instruction token in fetch order via
+      :meth:`note_fetch`, and squashed tokens fall out of the queue lazily.
+
+    All state is cycle-stamped and refreshed lazily from ``ctx.cycle``, so
+    the interpreted and compiled engines (which share guards and actions)
+    observe identical arbitration — the bit-identical-statistics contract
+    between backends holds with no engine-specific code.
+    """
+
+    #: :meth:`repro.core.net.RCPN.reset` clears units carrying this flag,
+    #: so a bare engine reset cannot leak stale issue-window state.
+    clears_with_net = True
+
+    def __init__(self, width, in_order=True, port_limits=None):
+        self.width = width
+        self.in_order = in_order
+        self.port_limits = dict(port_limits or {})
+        self.reset()
+
+    def reset(self):
+        self._cycle = -1
+        self._issued = 0
+        self._port_issued = {}
+        self._program_order = deque()
+
+    def note_fetch(self, token):
+        """Record a freshly fetched instruction token (program order)."""
+        if self.in_order:
+            self._program_order.append(token)
+
+    def _refresh(self, cycle):
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._issued = 0
+            self._port_issued = {}
+
+    def _oldest_live(self):
+        order = self._program_order
+        while order and (order[0].squashed or "issued" in order[0].annotations):
+            order.popleft()
+        return order[0] if order else None
+
+    def may_issue(self, token, ctx, port=None):
+        """Guard half of the gate: may ``token`` issue this cycle?"""
+        self._refresh(ctx.cycle)
+        if self._issued >= self.width:
+            return False
+        if port is not None and self._port_issued.get(port, 0) >= self.port_limits[port]:
+            return False
+        if self.in_order and self._oldest_live() is not token:
+            return False
+        return True
+
+    def may_advance(self, token, source_stage):
+        """Pre-issue transfer rule: no overtaking in the front end.
+
+        A token may leave a front-end stage only while no *older*
+        instruction still resides in that stage.  Anything weaker
+        deadlocks the in-order issue gate: a younger instruction that
+        overtakes a stalled elder (e.g. one waiting out an i-cache miss)
+        can saturate the downstream stages, none of which may issue before
+        the stranded elder, which in turn cannot advance into the stages
+        the youngsters hold.  Keeping every stage order-preserving makes
+        the front end behave like a real in-order machine — fetch backs up
+        behind the miss — and guarantees the oldest un-issued instruction
+        always has a clear path to the issue stage.
+
+        Within one cycle the rule still transfers up to ``width``
+        instructions across a stage boundary: once the elder's place fires
+        (places are evaluated in a fixed structural order), a younger
+        co-resident evaluated later in the same cycle sees the stage clear
+        and follows immediately.
+        """
+        if not self.in_order:
+            return True
+        seq = token.seq
+        for place in source_stage.places:
+            for resident in place.tokens:
+                if resident.is_instruction and resident.seq < seq:
+                    return False
+            for resident in place.pending:
+                if resident.is_instruction and resident.seq < seq:
+                    return False
+        return True
+
+    def note_issue(self, token, ctx, port=None):
+        """Action half of the gate: account for ``token`` issuing now."""
+        self._refresh(ctx.cycle)
+        self._issued += 1
+        if port is not None:
+            self._port_issued[port] = self._port_issued.get(port, 0) + 1
+        if self.in_order:
+            token.annotations["issued"] = True
+            self._oldest_live()  # opportunistically drop the retired front
 
 
 # ---------------------------------------------------------------------------

@@ -9,8 +9,10 @@
   (Figure 9): in-order issue, out-of-order completion across the X/D/M
   pipes, BTB branch prediction.
 * :mod:`repro.processors.variants` — spec-defined variants (a three-stage
-  ``arm7-mini``, a deepened ``xscale-deep``) showing how cheap a new
-  pipeline is once the description layer does the wiring.
+  ``arm7-mini``, a deepened ``xscale-deep``, and the dual-issue
+  ``strongarm-ds``/``xscale-ds`` built from an
+  :class:`~repro.describe.IssueSpec`) showing how cheap a new pipeline is
+  once the description layer does the wiring.
 
 Each model is a :class:`repro.describe.PipelineSpec` elaborated by
 :mod:`repro.describe` into an :class:`repro.core.RCPN` and wrapped in the
@@ -33,7 +35,12 @@ from repro.processors.registry import (
     supported_kernels,
 )
 from repro.processors.strongarm import build_strongarm_processor, strongarm_spec
-from repro.processors.variants import arm7_mini_spec, xscale_deep_spec
+from repro.processors.variants import (
+    arm7_mini_spec,
+    strongarm_ds_spec,
+    xscale_deep_spec,
+    xscale_ds_spec,
+)
 from repro.processors.xscale import build_xscale_processor, xscale_spec
 
 #: Model builders by name (legacy alias; prefer the registry functions).
@@ -54,8 +61,10 @@ __all__ = [
     "get_spec",
     "processor_names",
     "register_processor",
+    "strongarm_ds_spec",
     "strongarm_spec",
     "supported_kernels",
     "xscale_deep_spec",
+    "xscale_ds_spec",
     "xscale_spec",
 ]

@@ -17,7 +17,12 @@ from repro.core.exceptions import UnknownNameError
 from repro.describe import elaborate
 from repro.processors.example import build_example_processor, example_spec
 from repro.processors.strongarm import build_strongarm_processor, strongarm_spec
-from repro.processors.variants import arm7_mini_spec, xscale_deep_spec
+from repro.processors.variants import (
+    arm7_mini_spec,
+    strongarm_ds_spec,
+    xscale_deep_spec,
+    xscale_ds_spec,
+)
 from repro.processors.xscale import build_xscale_processor, xscale_spec
 
 #: Kernels every full-ISA model runs.  Models covering a subset of the ISA
@@ -115,3 +120,5 @@ register_processor(
 register_processor("xscale", spec_factory=xscale_spec, builder=build_xscale_processor)
 register_processor("arm7-mini", spec_factory=arm7_mini_spec)
 register_processor("xscale-deep", spec_factory=xscale_deep_spec)
+register_processor("strongarm-ds", spec_factory=strongarm_ds_spec)
+register_processor("xscale-ds", spec_factory=xscale_ds_spec)

@@ -32,6 +32,8 @@ from __future__ import annotations
 from repro.describe import (
     FetchSpec,
     HazardSpec,
+    IssuePortSpec,
+    IssueSpec,
     OpClassPathSpec,
     PipelineSpec,
     PlaceSpec,
@@ -57,8 +59,15 @@ def _stagewise(opclass, role_names, hooks):
     return linear_path(opclass, PIPELINE_STAGES, hooks=hooks, names=names)
 
 
-def strongarm_spec():
-    """The StrongARM model as a declarative pipeline description."""
+def strongarm_spec(issue_width=1, name="StrongARM"):
+    """The StrongARM model as a declarative pipeline description.
+
+    ``issue_width`` parameterises the front end: the default of 1 is the
+    SA-110 as the paper models it; ``issue_width=2`` widens every pipeline
+    latch to two slots, fetches two words per cycle and issues in order
+    through a dual-issue gate with a single data-cache port (the
+    ``strongarm-ds`` registry entry, see ``repro.processors.variants``).
+    """
     alu = _stagewise(
         "alu",
         {"DE": "decode", "EM": "issue", "MW": "buffer", "end": "writeback"},
@@ -105,18 +114,42 @@ def strongarm_spec():
         hooks={"EM": "system.issue", "end": "system.retire"},
     )
 
+    if issue_width == 1:
+        issue = IssueSpec()
+        front_flush = FRONT_STAGES
+        description = "StrongARM SA-110 five-stage in-order pipeline (paper Section 5)"
+    else:
+        # Instructions issue out of DE in program order; a taken branch must
+        # flush DE too, because a younger (wrong-path) instruction can now
+        # share the decode stage with the branch that is issuing.
+        issue = IssueSpec(
+            width=issue_width,
+            stage="DE",
+            in_order=True,
+            ports=(IssuePortSpec("dmem", classes=("mem", "memm")),),
+        )
+        front_flush = FRONT_STAGES + ("DE",)
+        description = (
+            "StrongARM-style pipeline widened to %d-issue: in-order dual "
+            "issue out of DE, one data-cache port" % issue_width
+        )
     return PipelineSpec(
-        name="StrongARM",
-        stages=tuple(StageSpec(name) for name in PIPELINE_STAGES) + (StageSpec("FSTALL"),),
+        name=name,
+        stages=tuple(StageSpec(stage, capacity=issue_width) for stage in PIPELINE_STAGES)
+        + (StageSpec("FSTALL"),),
         paths=(alu, mul, mem, memm, branch, system),
         hazards=HazardSpec(
             forward_states=FORWARD_STATES,
-            front_flush_stages=FRONT_STAGES,
-            redirect_flush_stages=("FD", "DE", "EM"),
+            front_flush_stages=front_flush,
+            # FSTALL is flushed too: a squashed wrong-path taken branch must
+            # not leave its fetch-stall reservation behind (the kernels never
+            # write the PC mid-pipe, but `mov pc, rN` style code does).
+            redirect_flush_stages=("FD", "DE", "EM", "FSTALL"),
         ),
         fetch=FetchSpec(style="sequential", capacity_stage="FD", stall_stage="FSTALL"),
         predictor=PredictorSpec(kind="static_not_taken", unit_name="predictor"),
-        description="StrongARM SA-110 five-stage in-order pipeline (paper Section 5)",
+        issue=issue,
+        description=description,
     )
 
 

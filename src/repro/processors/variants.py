@@ -13,6 +13,14 @@ not a page of guard/action closures per operation class.
   *parameterising* :func:`repro.processors.xscale.xscale_spec` rather than
   restating it.  Deeper pipe, same side pipes, same predictor: branchy
   codes pay a higher misprediction bill.
+* :func:`strongarm_ds_spec` / :func:`xscale_ds_spec` — dual-issue
+  ("superscalar") variants of the two paper models, again obtained by
+  parameterising the parent spec: an
+  :class:`~repro.describe.IssueSpec` widens fetch/decode to two slots and
+  issues in program order through per-class issue ports.  The paper's
+  claim that RCPN covers multi-issue pipelines with the same formalism is
+  exercised by these two entries — the differential and golden tests run
+  them like any other registered model.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.describe import (
     TransitionSpec,
     linear_path,
 )
+from repro.processors.strongarm import strongarm_spec
 from repro.processors.xscale import MAC_STAGES, MEMORY_STAGES, xscale_spec
 
 MINI_STAGES = ("FD", "EX", "WB")
@@ -90,7 +99,9 @@ def arm7_mini_spec():
         hazards=HazardSpec(
             forward_states=("EX", "WB"),
             front_flush_stages=("FD",),
-            redirect_flush_stages=("FD", "EX"),
+            # FSTALL included so a squashed taken branch's fetch-stall
+            # reservation is withdrawn with it (see strongarm_spec).
+            redirect_flush_stages=("FD", "EX", "FSTALL"),
         ),
         fetch=FetchSpec(style="sequential", capacity_stage="FD", stall_stage="FSTALL"),
         predictor=PredictorSpec(kind="static_not_taken", unit_name="predictor"),
@@ -108,3 +119,13 @@ def xscale_deep_spec():
         forward_states=("X2", "X3", "XWB") + tuple(MEMORY_STAGES[1:]) + tuple(MAC_STAGES[1:]),
         name="XScaleDeep",
     )
+
+
+def strongarm_ds_spec():
+    """Dual-issue StrongARM: two-wide fetch/issue, one data-cache port."""
+    return strongarm_spec(issue_width=2, name="StrongARM-DS")
+
+
+def xscale_ds_spec():
+    """Dual-issue XScale: X pipe pairs with the memory or MAC side pipe."""
+    return xscale_spec(issue_width=2, name="XScale-DS")

@@ -25,6 +25,8 @@ from __future__ import annotations
 from repro.describe import (
     FetchSpec,
     HazardSpec,
+    IssuePortSpec,
+    IssueSpec,
     PipelineSpec,
     PredictorSpec,
     StageSpec,
@@ -44,12 +46,21 @@ MAC_STAGES = ("M1", "M2", "MWB")
 FRONT_END = ("F1", "F2", "ID", "RF")
 
 
-def xscale_spec(main_stages=MAIN_STAGES, forward_states=FORWARD_STATES, name="XScale"):
+def xscale_spec(
+    main_stages=MAIN_STAGES,
+    forward_states=FORWARD_STATES,
+    name="XScale",
+    issue_width=1,
+):
     """The XScale model as a declarative pipeline description.
 
     ``main_stages`` and ``forward_states`` are parameters so deepened
     variants (see ``repro.processors.variants``) can stretch the main pipe
-    without restating the structure.
+    without restating the structure; ``issue_width=2`` widens the front end
+    and the X pipe to two slots and issues in order out of RF, pairing an
+    integer operation with a load/store or a multiply (the single-slot D1
+    and M1 latches are declared as issue ports) — the ``xscale-ds``
+    registry entry.
     """
     front_end = main_stages[:4]
     issue, execute = main_stages[4], main_stages[5]
@@ -90,21 +101,51 @@ def xscale_spec(main_stages=MAIN_STAGES, forward_states=FORWARD_STATES, name="XS
         hooks={issue: "system.issue", "end": "system.retire"},
     )
 
+    if issue_width == 1:
+        issue_spec = IssueSpec()
+        front_flush = front_end[:3]
+        wide = set()
+        description = (
+            "Intel XScale: 7-stage main pipe, memory and MAC side pipes, "
+            "BTB prediction, out-of-order completion (paper Figure 9)"
+        )
+    else:
+        # The front end and the integer pipe get issue_width slots; D1 and
+        # M1 keep one slot each (one data-cache port, one MAC array), which
+        # the issue ports make explicit.  Instructions issue out of RF in
+        # program order, so a resolving branch must flush RF as well: a
+        # younger wrong-path instruction can now share it.
+        issue_spec = IssueSpec(
+            width=issue_width,
+            stage=front_end[3],
+            in_order=True,
+            ports=(
+                IssuePortSpec("dmem", classes=("mem", "memm")),
+                IssuePortSpec("mac", classes=("mul",)),
+            ),
+        )
+        front_flush = front_end
+        wide = set(main_stages)
+        description = (
+            "XScale-style pipeline widened to %d-issue: in-order issue out "
+            "of RF pairing the X pipe with the memory or MAC pipe" % issue_width
+        )
     return PipelineSpec(
         name=name,
         stages=tuple(
-            StageSpec(stage) for stage in main_stages + MEMORY_STAGES + MAC_STAGES
+            StageSpec(stage, capacity=issue_width if stage in wide else 1)
+            for stage in main_stages + MEMORY_STAGES + MAC_STAGES
         ),
         paths=(alu, mul, mem, memm, branch, system),
         hazards=HazardSpec(
             forward_states=forward_states,
-            front_flush_stages=front_end[:3],
+            front_flush_stages=front_flush,
             redirect_flush_stages=front_end,
         ),
         fetch=FetchSpec(style="btb", capacity_stage=main_stages[0]),
         predictor=PredictorSpec(kind="btb", unit_name="btb", btb_entries=128),
-        description="Intel XScale: 7-stage main pipe, memory and MAC side pipes, "
-        "BTB prediction, out-of-order completion (paper Figure 9)",
+        issue=issue_spec,
+        description=description,
     )
 
 

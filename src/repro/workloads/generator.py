@@ -19,11 +19,15 @@ class SyntheticWorkloadGenerator:
     """Generate loop-shaped programs with a configurable instruction mix.
 
     ``mix`` maps instruction categories (``alu``, ``mul``, ``load``,
-    ``store``, ``branch``) to relative weights.  ``body_length`` instructions
-    are drawn per loop iteration and the loop runs ``iterations`` times.
+    ``store``, ``branch``, ``jump``) to relative weights.  ``body_length``
+    instructions are drawn per loop iteration and the loop runs
+    ``iterations`` times.  The ``jump`` category emits a computed PC write
+    (``mov pc, r9``) over one wrong-path filler instruction — the only way
+    to exercise a model's deep-redirect (writeback-time) control transfer,
+    which ordinary branches resolve too early to reach.
     """
 
-    CATEGORIES = ("alu", "mul", "load", "store", "branch")
+    CATEGORIES = ("alu", "mul", "load", "store", "branch", "jump")
 
     def __init__(self, mix=None, body_length=32, iterations=64, seed=1):
         self.mix = dict(mix or {"alu": 6, "mul": 1, "load": 2, "store": 1, "branch": 2})
@@ -39,9 +43,12 @@ class SyntheticWorkloadGenerator:
         weights = [self.mix[c] for c in categories]
         return rng.choices(categories, weights=weights, k=1)[0]
 
-    def _emit(self, category, rng, label_counter):
+    def _emit(self, category, rng, label_counter, index):
         # r0..r5 are scratch data registers, r8 is the data pointer,
-        # r11 is the loop counter and must not be clobbered.
+        # r9 is the jump-target scratch, r11 is the loop counter and must
+        # not be clobbered.  ``index`` is the absolute instruction index the
+        # first emitted instruction will occupy (needed to compute jump
+        # targets).
         reg = lambda: "r%d" % rng.randint(0, 5)
         if category == "alu":
             op = rng.choice(("add", "sub", "eor", "orr", "and"))
@@ -54,6 +61,18 @@ class SyntheticWorkloadGenerator:
         if category == "store":
             offset = 4 * rng.randint(0, 15)
             return ["    str %s, [r8, #%d]" % (reg(), offset)]
+        if category == "jump":
+            # A computed PC write: resolved at writeback, deep in the pipe,
+            # so the wrong-path filler is fetched (and must be squashed by
+            # the model's backend redirect) before fetch lands on the
+            # target.  Executing the filler corrupts a scratch register and
+            # diverges from the functional reference immediately.
+            target = reg()
+            return [
+                "    mov r9, #%d" % (4 * (index + 3)),
+                "    mov pc, r9",
+                "    add %s, %s, #64" % (target, target),
+            ]
         # branch: a short forward skip whose outcome depends on data.
         label = "skip_%d" % label_counter
         target = reg()
@@ -81,11 +100,15 @@ class SyntheticWorkloadGenerator:
             "loop:",
         ]
         label_counter = 0
+        # Instruction index of the next emitted instruction (the prologue
+        # above holds eight instructions; labels and comments do not count).
+        index = sum(1 for line in lines if line.startswith("    "))
         for _ in range(self.body_length):
             category = self._choose(rng)
-            emitted = self._emit(category, rng, label_counter)
+            emitted = self._emit(category, rng, label_counter, index)
             if category == "branch":
                 label_counter += 1
+            index += sum(1 for line in emitted if line.startswith("    "))
             lines.extend(emitted)
         lines.extend(
             [

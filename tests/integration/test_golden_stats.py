@@ -30,6 +30,20 @@ GOLDEN = {
     ("example", "crc"): (7495, 4479, 2006, 4223799965),
     ("example", "compress"): (8730, 4760, 2894, 58384),
     ("example", "blowfish"): (11913, 6776, 4321, 1638522846),
+    # Dual-issue variants (PR 4): captured on the interpreted backend at the
+    # introduction of IssueSpec-driven multi-issue elaboration.
+    ("strongarm-ds", "adpcm"): (8123, 8072, 13604, 2282867342),
+    ("strongarm-ds", "blowfish"): (9378, 6776, 17402, 1638522846),
+    ("strongarm-ds", "compress"): (6924, 4760, 11587, 58384),
+    ("strongarm-ds", "crc"): (5710, 4479, 6120, 4223799965),
+    ("strongarm-ds", "g721"): (7724, 6107, 15462, 3462125290),
+    ("strongarm-ds", "go"): (21146, 13592, 42076, 1286),
+    ("xscale-ds", "adpcm"): (10237, 8072, 46324, 2282867342),
+    ("xscale-ds", "blowfish"): (10667, 6776, 50530, 1638522846),
+    ("xscale-ds", "compress"): (6936, 4760, 30034, 58384),
+    ("xscale-ds", "crc"): (6012, 4479, 22661, 4223799965),
+    ("xscale-ds", "g721"): (9628, 6107, 47141, 3462125290),
+    ("xscale-ds", "go"): (24439, 13592, 119280, 1286),
 }
 
 
@@ -48,3 +62,31 @@ def test_golden_statistics_are_unchanged(model, kernel):
     assert stats.instructions == expected_instructions
     assert stats.stalls == expected_stalls
     assert processor.register(0) == expected_r0
+
+
+#: Dual-issue variant -> its single-issue parent.
+DUAL_ISSUE_PARENTS = {"strongarm-ds": "strongarm", "xscale-ds": "xscale"}
+
+
+@pytest.mark.parametrize("variant,parent", sorted(DUAL_ISSUE_PARENTS.items()))
+def test_dual_issue_invariants_against_single_issue_parent(variant, parent):
+    """A wider front end may only help: same work, fewer (or equal) cycles.
+
+    On every kernel the dual-issue model must retire exactly the same
+    instruction stream as its parent (identical retired counts and final
+    architectural result — the golden rows above pin the absolute values),
+    and on the crc kernel its CPI must be at most the parent's.
+    """
+    for kernel in ("crc", "adpcm", "go"):
+        workload = get_workload(kernel, scale=1)
+        results = {}
+        for model in (parent, variant):
+            processor = build_processor(model)
+            processor.load_program(workload.program)
+            stats = processor.run(max_cycles=2_000_000)
+            results[model] = (stats.cycles, stats.instructions, processor.register(0))
+        assert results[variant][1] == results[parent][1], kernel
+        assert results[variant][2] == results[parent][2], kernel
+        cpi = {m: c / i for m, (c, i, _) in results.items()}
+        if kernel == "crc":
+            assert cpi[variant] <= cpi[parent]

@@ -552,3 +552,74 @@ class TestCli:
         )
         assert code == 0
         assert "'from-file'" in out.getvalue()
+
+    @pytest.mark.parametrize("command", ["run", "status"])
+    def test_bad_processor_name_fails_with_suggestion(self, tmp_path, command):
+        out = io.StringIO()
+        code = cli_main(
+            [
+                command,
+                "--processors", "strongam",
+                "--workloads", "crc",
+                "--store", str(tmp_path / "store"),
+            ],
+            out,
+        )
+        assert code == 1
+        message = out.getvalue()
+        assert "unknown processor 'strongam'" in message
+        assert "did you mean 'strongarm'" in message
+        assert "Traceback" not in message
+
+    @pytest.mark.parametrize("command", ["run", "status"])
+    def test_bad_workload_name_fails_with_suggestion(self, tmp_path, command):
+        out = io.StringIO()
+        code = cli_main(
+            [
+                command,
+                "--processors", "strongarm",
+                "--workloads", "blowfsh",
+                "--store", str(tmp_path / "store"),
+            ],
+            out,
+        )
+        assert code == 1
+        message = out.getvalue()
+        assert "unknown workload 'blowfsh'" in message
+        assert "did you mean 'blowfish'" in message
+
+    def test_bad_name_inside_spec_file_also_gets_suggestions(self, tmp_path):
+        spec_path = tmp_path / "campaign.json"
+        spec_path.write_text(
+            json.dumps({"name": "typo", "processors": ["xsale"], "workloads": ["crc"]})
+        )
+        out = io.StringIO()
+        code = cli_main(
+            ["run", "--spec", str(spec_path), "--store", str(tmp_path / "store")], out
+        )
+        assert code == 1
+        assert "did you mean 'xscale'" in out.getvalue()
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path):
+        out = io.StringIO()
+        code = cli_main(
+            ["run", "--spec", str(tmp_path / "nope.json"), "--store", str(tmp_path / "s")],
+            out,
+        )
+        assert code == 1
+        assert "cannot read --spec file" in out.getvalue()
+
+    def test_non_integer_scales_fail_cleanly(self, tmp_path):
+        out = io.StringIO()
+        code = cli_main(
+            [
+                "run",
+                "--processors", "strongarm",
+                "--workloads", "crc",
+                "--scales", "x2",
+                "--store", str(tmp_path / "store"),
+            ],
+            out,
+        )
+        assert code == 1
+        assert "bad --scales entry 'x2'" in out.getvalue()

@@ -269,10 +269,18 @@ def test_tiny_spec_elaborates_and_runs():
 # -- registries ----------------------------------------------------------------
 
 
-def test_registry_exposes_at_least_five_models():
+def test_registry_exposes_at_least_seven_models():
     names = processor_names()
-    assert len(names) >= 5
-    for required in ("example", "strongarm", "xscale", "arm7-mini", "xscale-deep"):
+    assert len(names) >= 7
+    for required in (
+        "example",
+        "strongarm",
+        "xscale",
+        "arm7-mini",
+        "xscale-deep",
+        "strongarm-ds",
+        "xscale-ds",
+    ):
         assert required in names
 
 

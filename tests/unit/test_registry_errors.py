@@ -17,7 +17,8 @@ class TestUnknownNameSuggestions:
             get_entry("strongam")
         error = caught.value
         assert "strongarm" in error.suggestions
-        assert "did you mean 'strongarm'?" in str(error)
+        assert error.suggestions[0] == "strongarm"
+        assert "did you mean 'strongarm'" in str(error)
 
     def test_workload_registry_suggests_close_matches(self):
         with pytest.raises(UnknownNameError) as caught:
