@@ -33,12 +33,15 @@ Sub-packages
     The ARM7-inspired instruction set: encoding, assembler, disassembler and
     functional semantics.
 ``repro.memory``
-    Main memory, caches and branch predictors.
+    Main memory, chainable write-back caches (L1 -> optional shared L2 ->
+    memory) and branch predictors; hierarchies are declared per model with
+    ``repro.describe.MemorySpec``.
 ``repro.processors``
     The registered pipeline models (``processor_names()`` /
     ``build_processor()``): the paper's example processor, StrongARM,
-    XScale, and the spec-defined ``arm7-mini`` and ``xscale-deep``
-    variants.
+    XScale, and the spec-defined ``arm7-mini``, ``xscale-deep``,
+    dual-issue (``strongarm-ds``/``xscale-ds``) and memory-hierarchy
+    (``strongarm-l2``/``xscale-l2``, ``strongarm-c*`` sweep) variants.
 ``repro.baseline``
     The fixed-architecture (SimpleScalar-style) cycle-accurate baseline and
     a functional instruction-set simulator.
@@ -56,7 +59,7 @@ Sub-packages
     tables, and driven from the ``python -m repro.campaign`` CLI.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "core",

@@ -9,8 +9,8 @@ content-fingerprinted :class:`RunSpec`s, the runner executes on a
 JSON lines keyed by fingerprint.  Re-running a campaign skips every run
 the store already holds, so campaigns are incremental and resumable, and
 an aggregation API (:mod:`repro.campaign.aggregate`) turns stored results
-into the paper's tables (CPI, throughput, compiled-over-interpreted
-speedup) plus CSV/JSON exports.
+into the paper's tables (CPI, per-level cache miss rates, throughput,
+compiled-over-interpreted speedup) plus CSV/JSON exports.
 
 The CLI mirrors the API::
 
@@ -21,6 +21,7 @@ The CLI mirrors the API::
 """
 
 from repro.campaign.aggregate import (
+    cache_table,
     cpi_table,
     group_results,
     render,
@@ -63,6 +64,7 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "build_run_processor",
+    "cache_table",
     "campaign_processors",
     "cpi_table",
     "engine_variant",

@@ -3,7 +3,8 @@
 Results come in as :class:`~repro.campaign.store.RunResult`s (from a
 :class:`~repro.campaign.runner.CampaignReport` or straight from a
 :class:`~repro.campaign.store.ResultStore`); this module turns them into
-the shapes the paper's figures need — flat rows, CPI tables, speedup
+the shapes the paper's figures need — flat rows, CPI tables, per-level
+cache/miss-rate tables (:func:`cache_table`, the Figure 12 shape), speedup
 tables comparing engine variants — and exports them as CSV or JSON.
 Rendering goes through :func:`repro.analysis.report.format_table` so
 campaign reports look like the rest of the benchmark output.
@@ -110,6 +111,41 @@ def cpi_table(results):
         }
         for row in summarize(results)
     ]
+
+
+def cache_table(results, by=("processor", "workload", "scale", "engine")):
+    """Per-level cache behaviour per group — the Figure 12 shape.
+
+    One row per group with CPI, instruction/data miss rates, data-side
+    miss-penalty cycles and (when the model has one) the L2 hit rate.
+    Results recorded before the ``memory`` field existed carry no cache
+    statistics and are skipped.  Like :func:`summarize`, simulated
+    quantities must agree across a group's repeats — cache counters are
+    part of the simulation, not of the host — and disagreement raises.
+    """
+    rows = []
+    for key, members in group_results(results, by=by).items():
+        members = [member for member in members if member.memory]
+        if not members:
+            continue
+        memories = [member.memory for member in members]
+        if any(memory != memories[0] for memory in memories[1:]):
+            raise ValueError("non-deterministic cache statistics in group %r" % (key,))
+        memory = memories[0]
+        member = members[0]
+        row = dict(zip(by, key))
+        row.update(
+            {
+                "cpi": member.cpi,
+                "icache_miss_rate": memory["icache"]["miss_rate"],
+                "dcache_miss_rate": memory["dcache"]["miss_rate"],
+                "dcache_misses": memory["dcache"]["misses"],
+                "dcache_miss_cycles": memory["dcache"]["miss_cycles"],
+                "l2_hit_rate": memory["l2"]["hit_rate"] if memory.get("l2") else None,
+            }
+        )
+        rows.append(row)
+    return rows
 
 
 def speedup_table(results, baseline="interpreted", against="compiled"):

@@ -164,6 +164,10 @@ def _command_report(args, out):
         return 1
     by = tuple(_split(args.group_by))
     out.write(aggregate.render(aggregate.summarize(results, by=by)) + "\n")
+    caches = aggregate.cache_table(results, by=by)
+    if caches:
+        out.write("\ncache behaviour (per-level miss rates):\n")
+        out.write(aggregate.render(caches) + "\n")
     speedups = aggregate.speedup_table(results)
     if speedups:
         out.write("\nspeedup (compiled over interpreted):\n")

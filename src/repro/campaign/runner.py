@@ -90,6 +90,7 @@ def execute_run(run, campaign=""):
         wall_seconds=wall,
         stats=summary,
         generation=processor.generation_report.summary(),
+        memory=processor.memory.statistics_summary(),
         worker_pid=os.getpid(),
     )
 

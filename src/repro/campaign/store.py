@@ -27,8 +27,11 @@ class RunResult:
     ``stats`` is the engine's statistics summary (cycles, CPI, stalls,
     retirement counters); ``generation`` is the
     :class:`~repro.core.generator.GenerationReport` summary, which carries
-    the schedule/plan cache hit indicators.  ``cached`` is transient: it
-    marks results served from a store instead of executed, and is never
+    the schedule/plan cache hit indicators; ``memory`` is the memory
+    system's :meth:`~repro.memory.memory_system.MemorySystem.statistics_summary`
+    (per-level hit/miss/writeback counters and rates — empty for results
+    stored before the field existed).  ``cached`` is transient: it marks
+    results served from a store instead of executed, and is never
     persisted as ``True``.
     """
 
@@ -48,6 +51,7 @@ class RunResult:
     wall_seconds: float
     stats: dict = field(default_factory=dict)
     generation: dict = field(default_factory=dict)
+    memory: dict = field(default_factory=dict)
     worker_pid: int = 0
     cached: bool = False
 

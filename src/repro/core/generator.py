@@ -44,6 +44,9 @@ class GenerationReport:
     spec_fingerprint: str = None
     #: "hit"/"miss" for fingerprinted models, "uncached" for hand-built nets.
     schedule_cache: str = "uncached"
+    #: Cache-hierarchy geometry, level by level (None when the net carries
+    #: no memory unit — e.g. the hand-built test nets).
+    memory_hierarchy: list = None
 
     def summary(self):
         report = {
@@ -60,6 +63,8 @@ class GenerationReport:
             report["spec_fingerprint"] = self.spec_fingerprint
         if self.compilation is not None:
             report["compilation"] = dict(self.compilation)
+        if self.memory_hierarchy is not None:
+            report["memory_hierarchy"] = list(self.memory_hierarchy)
         return report
 
 
@@ -86,6 +91,8 @@ def generate_simulator(net, options=None):
     schedule = engine.schedule
     dispatch = schedule.sorted_transitions or {}
     fingerprint = getattr(net, "spec_fingerprint", None)
+    memory = getattr(net, "units", {}).get("memory")
+    describe_hierarchy = getattr(memory, "describe_hierarchy", None)
     report = GenerationReport(
         model_name=net.name,
         backend=engine.backend,
@@ -99,5 +106,6 @@ def generate_simulator(net, options=None):
         schedule_cache=(
             ("hit" if schedule.from_cache else "miss") if fingerprint is not None else "uncached"
         ),
+        memory_hierarchy=describe_hierarchy() if callable(describe_hierarchy) else None,
     )
     return engine, report

@@ -9,7 +9,8 @@ package is that description layer:
   (:class:`PipelineSpec`, :class:`StageSpec`, :class:`OpClassPathSpec`,
   :class:`TransitionSpec`, :class:`HazardSpec`, :class:`FetchSpec`,
   :class:`PredictorSpec`, :class:`IssueSpec`/:class:`IssuePortSpec` for
-  multi-issue pipelines) plus validation and a stable content
+  multi-issue pipelines, :class:`MemorySpec`/:class:`CacheLevelSpec` for
+  the cache hierarchy) plus validation and a stable content
   :meth:`~spec.PipelineSpec.fingerprint`;
 * :mod:`repro.describe.semantics` — the shared ARM guard/action hook
   factories the specs reference by name;
@@ -24,10 +25,12 @@ Every shipped processor model (``repro.processors``) is now a spec; see
 from repro.describe.elaborate import elaborate, elaborate_net
 from repro.describe.semantics import ArmSemantics, Hook
 from repro.describe.spec import (
+    CacheLevelSpec,
     FetchSpec,
     HazardSpec,
     IssuePortSpec,
     IssueSpec,
+    MemorySpec,
     OpClassPathSpec,
     PipelineSpec,
     PlaceSpec,
@@ -37,16 +40,18 @@ from repro.describe.spec import (
     TransitionSpec,
     linear_path,
 )
-from repro.describe.substrate import IssueControl
+from repro.describe.substrate import IssueControl, build_memory_config
 
 __all__ = [
     "ArmSemantics",
+    "CacheLevelSpec",
     "FetchSpec",
     "HazardSpec",
     "Hook",
     "IssueControl",
     "IssuePortSpec",
     "IssueSpec",
+    "MemorySpec",
     "OpClassPathSpec",
     "PipelineSpec",
     "PlaceSpec",
@@ -54,6 +59,7 @@ __all__ = [
     "SpecError",
     "StageSpec",
     "TransitionSpec",
+    "build_memory_config",
     "elaborate",
     "elaborate_net",
     "linear_path",

@@ -18,6 +18,7 @@ from repro.describe.spec import PipelineSpec
 from repro.describe.substrate import (
     IssueControl,
     Processor,
+    build_memory_config,
     make_arm_model_parts,
     make_decoder,
     resolve_engine_options,
@@ -43,12 +44,19 @@ def _build_predictor(spec, net):
 def elaborate_net(spec, memory_config=None, use_decode_cache=True, semantics_class=ArmSemantics):
     """Elaborate ``spec`` into ``(net, decoder, core, memory, semantics)``.
 
-    The returned net is fully wired and validated-by-construction; callers
+    The memory hierarchy is built from the spec's declarative
+    :class:`~repro.describe.spec.MemorySpec` unless an explicit
+    ``memory_config`` (a runtime
+    :class:`~repro.memory.memory_system.MemorySystemConfig`) overrides it —
+    the escape hatch the hand-written baselines and a few tests use.  The
+    returned net is fully wired and validated-by-construction; callers
     that want the usual facade should use :func:`elaborate` instead.
     """
     if not isinstance(spec, PipelineSpec):
         raise TypeError("elaborate expects a PipelineSpec, got %r" % (spec,))
     spec.validate()
+    if memory_config is None:
+        memory_config = build_memory_config(spec.memory)
 
     net, context, core, memory = make_arm_model_parts(
         spec.name, memory_config, operation_classes=spec.opclasses

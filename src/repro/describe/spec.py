@@ -241,6 +241,111 @@ class PredictorSpec:
 
 
 @dataclass(frozen=True)
+class CacheLevelSpec:
+    """Geometry and timing of one cache level, as pure description data.
+
+    The runtime mirror is :class:`repro.memory.cache.CacheConfig`; this
+    spec exists so the memory hierarchy participates in validation and in
+    the pipeline fingerprint like every other declarative knob.  The
+    ``miss_penalty`` defaults to zero because the full miss cost is charged
+    as the backing level's latency (see :class:`MemorySpec`).
+    """
+
+    name: str = "L1"
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 32
+    associativity: int = 32
+    hit_latency: int = 1
+    miss_penalty: int = 0
+
+    def problems(self):
+        """Geometry/timing inconsistencies of this level, as strings."""
+        from repro.memory.cache import cache_geometry_problems
+
+        return [
+            "cache %r: %s" % (self.name, problem)
+            for problem in cache_geometry_problems(
+                size_bytes=self.size_bytes,
+                line_bytes=self.line_bytes,
+                associativity=self.associativity,
+                hit_latency=self.hit_latency,
+                miss_penalty=self.miss_penalty,
+            )
+        ]
+
+
+def _default_icache():
+    return CacheLevelSpec(name="I$")
+
+
+def _default_dcache():
+    return CacheLevelSpec(name="D$")
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """The memory hierarchy of a pipeline description.
+
+    * ``l1_instruction`` / ``l1_data`` — the split first-level caches (the
+      StrongARM/XScale organisation, and the default);
+    * ``l1_unified`` — when set, one cache serves instruction fetch and
+      data access; the split fields must then be left at their defaults
+      (they are ignored, and silently-ignored customisation is an error);
+    * ``l2`` — an optional second level shared by the L1s: L1 misses fill
+      from it and dirty L1 victims write back into it, so only L2 misses
+      and L2 writebacks reach the fixed-latency memory;
+    * ``memory_latency`` — the flat backing-memory latency in cycles;
+    * ``perfect_caches`` — every access hits (and is *counted* as a hit).
+
+    The default ``MemorySpec()`` elaborates to exactly the memory system
+    every pre-existing model was built with, so specs that do not mention
+    memory keep bit-identical timing.
+    """
+
+    l1_instruction: CacheLevelSpec = field(default_factory=_default_icache)
+    l1_data: CacheLevelSpec = field(default_factory=_default_dcache)
+    l1_unified: CacheLevelSpec = None
+    l2: CacheLevelSpec = None
+    memory_latency: int = 30
+    perfect_caches: bool = False
+
+    def problems(self):
+        """Every inconsistency of the hierarchy, as strings."""
+        problems = []
+        for level_name in ("l1_instruction", "l1_data", "l1_unified", "l2"):
+            level = getattr(self, level_name)
+            if level is None:
+                continue
+            if not isinstance(level, CacheLevelSpec):
+                problems.append(
+                    "memory level %s must be a CacheLevelSpec, got %r" % (level_name, level)
+                )
+                continue
+            problems.extend(level.problems())
+        if self.l1_unified is not None and (
+            self.l1_instruction != _default_icache() or self.l1_data != _default_dcache()
+        ):
+            problems.append(
+                "a unified L1 replaces the split caches; leave "
+                "l1_instruction/l1_data at their defaults"
+            )
+        if not isinstance(self.memory_latency, int) or self.memory_latency < 0:
+            problems.append(
+                "memory latency %r must be a non-negative integer" % (self.memory_latency,)
+            )
+        return problems
+
+    def validate(self):
+        """Check internal consistency; raises :class:`SpecError` on problems."""
+        problems = self.problems()
+        if problems:
+            raise SpecError(
+                "invalid memory spec:\n  - %s" % "\n  - ".join(problems)
+            )
+        return True
+
+
+@dataclass(frozen=True)
 class PipelineSpec:
     """A complete declarative pipeline description."""
 
@@ -251,6 +356,7 @@ class PipelineSpec:
     fetch: FetchSpec = field(default_factory=FetchSpec)
     predictor: PredictorSpec = field(default_factory=PredictorSpec)
     issue: IssueSpec = field(default_factory=IssueSpec)
+    memory: MemorySpec = field(default_factory=MemorySpec)
     description: str = ""
 
     def __post_init__(self):
@@ -423,6 +529,11 @@ class PipelineSpec:
                             % cls
                         )
                     ported_classes.add(cls)
+
+        if isinstance(self.memory, MemorySpec):
+            problems.extend(self.memory.problems())
+        else:
+            problems.append("memory must be a MemorySpec, got %r" % (self.memory,))
 
         if problems:
             raise SpecError(

@@ -30,7 +30,8 @@ from repro.isa.encoding import decode as isa_decode
 from repro.isa.flags import ConditionFlags
 from repro.isa.instructions import DataOpcode, DataProcessing, Multiply
 from repro.isa.registers import LR, NUM_REGISTERS, PC
-from repro.memory.memory_system import MemorySystem
+from repro.memory.cache import CacheConfig
+from repro.memory.memory_system import MemorySystem, MemorySystemConfig
 
 
 # ---------------------------------------------------------------------------
@@ -611,10 +612,12 @@ class Processor:
         state are cleared; the generated engine (including the compiled
         plan, when the compiled backend is selected) is kept.  Call
         :meth:`load_program` afterwards to restore the program image and
-        the fetch PC.
+        the fetch PC.  The memory system gets a *full* reset — cold tags,
+        not just zeroed counters — so a reused processor never starts its
+        second run with a warm cache.
         """
         self.engine.reset()
-        self.memory.reset_statistics()
+        self.memory.reset()
         for unit in self.net.units.values():
             if unit is self.memory or unit is self.core:
                 continue  # handled above / by load_program
@@ -634,6 +637,41 @@ class Processor:
 
     def complexity(self):
         return self.net.complexity()
+
+
+def build_memory_config(memory_spec):
+    """Elaborate a declarative :class:`~repro.describe.spec.MemorySpec` into
+    the runtime :class:`~repro.memory.memory_system.MemorySystemConfig`.
+
+    Levels translate one-to-one; the spec's validation has already run by
+    the time the elaborator calls this, so the ``CacheConfig`` constructors
+    cannot reject anything the spec accepted.
+    """
+
+    def cache_config(level):
+        return CacheConfig(
+            name=level.name,
+            size_bytes=level.size_bytes,
+            line_bytes=level.line_bytes,
+            associativity=level.associativity,
+            hit_latency=level.hit_latency,
+            miss_penalty=level.miss_penalty,
+        )
+
+    if memory_spec.l1_unified is not None:
+        unified = cache_config(memory_spec.l1_unified)
+        icache = dcache = unified
+    else:
+        icache = cache_config(memory_spec.l1_instruction)
+        dcache = cache_config(memory_spec.l1_data)
+    return MemorySystemConfig(
+        icache=icache,
+        dcache=dcache,
+        memory_latency=memory_spec.memory_latency,
+        perfect_caches=memory_spec.perfect_caches,
+        l2=cache_config(memory_spec.l2) if memory_spec.l2 is not None else None,
+        unified_l1=memory_spec.l1_unified is not None,
+    )
 
 
 def make_arm_model_parts(name, memory_config=None, operation_classes=None):

@@ -53,8 +53,13 @@ class MainMemory:
         """Load an assembled :class:`~repro.isa.program.Program` image."""
         program.load_into(self)
 
-    def access_latency(self, address):
-        """Latency in cycles of an access to ``address``."""
+    def access_latency(self, address, is_write=False):
+        """Latency in cycles of an access to ``address``.
+
+        ``is_write`` is accepted for protocol compatibility with
+        :class:`~repro.memory.cache.Cache` (cache writebacks propagate it);
+        the flat memory charges reads and writes identically.
+        """
         return self.latency
 
     def touched_words(self):

@@ -1,8 +1,12 @@
-"""Memory hierarchy combining main memory with split I/D first-level caches.
+"""Memory hierarchy combining main memory with first-level caches and an
+optional shared second level.
 
 This is the non-pipeline unit that RCPN transitions reference to obtain
 data-dependent latencies (paper Section 3.2, transition ``M`` in the
-LoadStore sub-net: ``t.delay = mem.delay(addr)``).
+LoadStore sub-net: ``t.delay = mem.delay(addr)``).  The hierarchy is
+usually *elaborated* from the declarative
+:class:`~repro.describe.spec.MemorySpec` of a pipeline description; the
+:class:`MemorySystemConfig` here is the runtime mirror of that spec.
 """
 
 from __future__ import annotations
@@ -15,12 +19,19 @@ from repro.memory.main_memory import MainMemory
 
 @dataclass(frozen=True)
 class MemorySystemConfig:
-    """Configuration of a split-cache memory hierarchy.
+    """Configuration of a cache hierarchy in front of a fixed-latency memory.
 
     The defaults follow the XScale/StrongARM organisation: 32 KB 32-way
-    instruction and data caches with 32-byte lines in front of a
-    fixed-latency memory.  The caches' own ``miss_penalty`` is zero here
-    because the full miss cost is charged as the backing memory latency.
+    split instruction and data caches with 32-byte lines in front of a
+    fixed-latency memory, no second level.  The caches' own
+    ``miss_penalty`` is zero here because the full miss cost is charged as
+    the backing store's latency.
+
+    * ``l2`` — an optional shared second-level cache between the L1s and
+      memory (L1 misses fill from it, L1 writebacks land in it);
+    * ``unified_l1`` — instruction and data share one L1 cache; the
+      ``icache`` and ``dcache`` configurations must then be identical
+      (one :class:`Cache` instance serves both sides).
     """
 
     icache: CacheConfig = field(
@@ -31,6 +42,21 @@ class MemorySystemConfig:
     )
     memory_latency: int = 30
     perfect_caches: bool = False
+    l2: CacheConfig = None
+    unified_l1: bool = False
+
+    def __post_init__(self):
+        if not isinstance(self.memory_latency, int) or self.memory_latency < 0:
+            raise ValueError(
+                "memory latency %r must be a non-negative integer" % (self.memory_latency,)
+            )
+        if self.l2 is not None and not isinstance(self.l2, CacheConfig):
+            raise ValueError("l2 must be a CacheConfig or None, got %r" % (self.l2,))
+        if self.unified_l1 and self.icache != self.dcache:
+            raise ValueError(
+                "a unified L1 needs identical icache/dcache configurations "
+                "(got %r vs %r)" % (self.icache, self.dcache)
+            )
 
 
 class MemorySystem:
@@ -42,13 +68,31 @@ class MemorySystem:
     * ``instruction_delay(address)`` and ``data_delay(address, is_write)``
       return access latencies in cycles and update cache statistics; the
       processor models use these to set token delays.
+
+    With an L2 configured, the first levels back onto it and it backs onto
+    memory, so L1 misses, L1 writebacks and L2 writebacks are all charged
+    through the chain (see :class:`~repro.memory.cache.Cache`).
     """
 
     def __init__(self, config=None):
         self.config = config or MemorySystemConfig()
         self.memory = MainMemory(latency=self.config.memory_latency)
-        self.icache = Cache(self.config.icache, backing=self.memory)
-        self.dcache = Cache(self.config.dcache, backing=self.memory)
+        self._build_caches()
+
+    def _build_caches(self):
+        config = self.config
+        # Perfect caches never miss, so nothing would ever consult an L2;
+        # not building it keeps statistics truthful (no all-zero L2 row in
+        # reports for a cache that cannot be reached).
+        build_l2 = config.l2 is not None and not config.perfect_caches
+        self.l2 = Cache(config.l2, backing=self.memory) if build_l2 else None
+        backing = self.l2 if self.l2 is not None else self.memory
+        if config.unified_l1:
+            unified = Cache(config.dcache, backing=backing)
+            self.icache = self.dcache = unified
+        else:
+            self.icache = Cache(config.icache, backing=backing)
+            self.dcache = Cache(config.dcache, backing=backing)
 
     # -- functional interface -------------------------------------------------
     def read_word(self, address):
@@ -67,32 +111,110 @@ class MemorySystem:
         self.memory.load_program(program)
 
     # -- timing interface -----------------------------------------------------
+    def _perfect_access(self, cache):
+        # A perfect cache still *sees* the access: counting it as a hit
+        # keeps reported access counts and hit rates truthful instead of
+        # dividing campaign reports into misleading 0.0 rates.
+        cache.stats.accesses += 1
+        cache.stats.hits += 1
+        return cache.config.hit_latency
+
     def instruction_delay(self, address):
         """Latency of an instruction fetch at ``address``."""
         if self.config.perfect_caches:
-            return self.config.icache.hit_latency
+            return self._perfect_access(self.icache)
         return self.icache.access(address, is_write=False)
 
     def data_delay(self, address, is_write=False):
         """Latency of a data access at ``address``."""
         if self.config.perfect_caches:
-            return self.config.dcache.hit_latency
+            return self._perfect_access(self.dcache)
         return self.dcache.access(address, is_write=is_write)
 
     # Paper-style alias used in the LoadStore sub-net example (Figure 5).
     def delay(self, address, is_write=False):
         return self.data_delay(address, is_write)
 
+    def reset(self):
+        """Restore the cold state: statistics cleared *and* every line invalid.
+
+        This is what :meth:`~repro.describe.substrate.Processor.reset` needs
+        for run-to-run bit-identity — a reused processor must not start its
+        second run with a warm cache.
+        """
+        self._build_caches()
+        self.memory.reset_statistics()
+
     def reset_statistics(self):
-        self.icache.reset()
-        self.dcache.reset()
+        """Clear the counters only; cache line state stays warm.
+
+        Use :meth:`reset` when re-running a workload for reproducible
+        statistics — warm lines make the second run faster than the first.
+        """
+        self.icache.reset_statistics()
+        self.dcache.reset_statistics()
+        if self.l2 is not None:
+            self.l2.reset_statistics()
         self.memory.reset_statistics()
 
     def statistics(self):
-        """Return a dictionary of cache statistics for reporting."""
-        return {
+        """Return a dictionary of cache statistics for reporting.
+
+        With a unified L1 the ``icache`` and ``dcache`` entries are the
+        *same* :class:`~repro.memory.cache.CacheStatistics` object (one
+        cache serves both sides); ``l2`` is present only when configured.
+        """
+        stats = {
             "icache": self.icache.stats,
             "dcache": self.dcache.stats,
             "memory_reads": self.memory.read_count,
             "memory_writes": self.memory.write_count,
         }
+        if self.l2 is not None:
+            stats["l2"] = self.l2.stats
+        return stats
+
+    def statistics_summary(self):
+        """Cache statistics as JSON-compatible plain data (campaign results)."""
+        summary = {
+            "icache": self.icache.stats.as_dict(),
+            "dcache": self.dcache.stats.as_dict(),
+            "l2": self.l2.stats.as_dict() if self.l2 is not None else None,
+            "memory_reads": self.memory.read_count,
+            "memory_writes": self.memory.write_count,
+            "unified_l1": self.config.unified_l1,
+            "perfect_caches": self.config.perfect_caches,
+        }
+        return summary
+
+    def describe_hierarchy(self):
+        """The hierarchy's *geometry* as plain data (generation reports).
+
+        Unlike :meth:`statistics` this is known before any simulation runs:
+        one entry per level, top to bottom, ending with the flat memory.
+        """
+
+        def level(cache):
+            config = cache.config
+            return {
+                "name": config.name,
+                "size_bytes": config.size_bytes,
+                "line_bytes": config.line_bytes,
+                "associativity": config.associativity,
+                "hit_latency": config.hit_latency,
+                "miss_penalty": config.miss_penalty,
+            }
+
+        levels = []
+        if self.config.unified_l1:
+            levels.append(dict(level(self.icache), role="l1-unified"))
+        else:
+            levels.append(dict(level(self.icache), role="l1-instruction"))
+            levels.append(dict(level(self.dcache), role="l1-data"))
+        if self.l2 is not None:
+            levels.append(dict(level(self.l2), role="l2"))
+        levels.append({"name": "memory", "role": "memory", "latency": self.config.memory_latency})
+        if self.config.perfect_caches:
+            for entry in levels[:-1]:
+                entry["perfect"] = True
+        return levels

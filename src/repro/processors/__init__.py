@@ -9,10 +9,12 @@
   (Figure 9): in-order issue, out-of-order completion across the X/D/M
   pipes, BTB branch prediction.
 * :mod:`repro.processors.variants` — spec-defined variants (a three-stage
-  ``arm7-mini``, a deepened ``xscale-deep``, and the dual-issue
+  ``arm7-mini``, a deepened ``xscale-deep``, the dual-issue
   ``strongarm-ds``/``xscale-ds`` built from an
-  :class:`~repro.describe.IssueSpec`) showing how cheap a new pipeline is
-  once the description layer does the wiring.
+  :class:`~repro.describe.IssueSpec`, and the memory-hierarchy
+  ``strongarm-l2``/``xscale-l2`` plus the ``strongarm-c*`` cache-capacity
+  sweep built from a :class:`~repro.describe.MemorySpec`) showing how
+  cheap a new pipeline is once the description layer does the wiring.
 
 Each model is a :class:`repro.describe.PipelineSpec` elaborated by
 :mod:`repro.describe` into an :class:`repro.core.RCPN` and wrapped in the
@@ -38,8 +40,10 @@ from repro.processors.strongarm import build_strongarm_processor, strongarm_spec
 from repro.processors.variants import (
     arm7_mini_spec,
     strongarm_ds_spec,
+    strongarm_l2_spec,
     xscale_deep_spec,
     xscale_ds_spec,
+    xscale_l2_spec,
 )
 from repro.processors.xscale import build_xscale_processor, xscale_spec
 
@@ -62,9 +66,11 @@ __all__ = [
     "processor_names",
     "register_processor",
     "strongarm_ds_spec",
+    "strongarm_l2_spec",
     "strongarm_spec",
     "supported_kernels",
     "xscale_deep_spec",
     "xscale_ds_spec",
+    "xscale_l2_spec",
     "xscale_spec",
 ]

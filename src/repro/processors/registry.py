@@ -18,10 +18,13 @@ from repro.describe import elaborate
 from repro.processors.example import build_example_processor, example_spec
 from repro.processors.strongarm import build_strongarm_processor, strongarm_spec
 from repro.processors.variants import (
+    CACHE_SWEEP,
     arm7_mini_spec,
     strongarm_ds_spec,
+    strongarm_l2_spec,
     xscale_deep_spec,
     xscale_ds_spec,
+    xscale_l2_spec,
 )
 from repro.processors.xscale import build_xscale_processor, xscale_spec
 
@@ -122,3 +125,8 @@ register_processor("arm7-mini", spec_factory=arm7_mini_spec)
 register_processor("xscale-deep", spec_factory=xscale_deep_spec)
 register_processor("strongarm-ds", spec_factory=strongarm_ds_spec)
 register_processor("xscale-ds", spec_factory=xscale_ds_spec)
+# Memory-hierarchy variants (Figure 12 cache-sensitivity family).
+register_processor("strongarm-l2", spec_factory=strongarm_l2_spec)
+register_processor("xscale-l2", spec_factory=xscale_l2_spec)
+for _suffix, _factory in CACHE_SWEEP.items():
+    register_processor("strongarm-%s" % _suffix, spec_factory=_factory)

@@ -34,6 +34,7 @@ from repro.describe import (
     HazardSpec,
     IssuePortSpec,
     IssueSpec,
+    MemorySpec,
     OpClassPathSpec,
     PipelineSpec,
     PlaceSpec,
@@ -59,7 +60,7 @@ def _stagewise(opclass, role_names, hooks):
     return linear_path(opclass, PIPELINE_STAGES, hooks=hooks, names=names)
 
 
-def strongarm_spec(issue_width=1, name="StrongARM"):
+def strongarm_spec(issue_width=1, name="StrongARM", memory=None):
     """The StrongARM model as a declarative pipeline description.
 
     ``issue_width`` parameterises the front end: the default of 1 is the
@@ -67,6 +68,10 @@ def strongarm_spec(issue_width=1, name="StrongARM"):
     latch to two slots, fetches two words per cycle and issues in order
     through a dual-issue gate with a single data-cache port (the
     ``strongarm-ds`` registry entry, see ``repro.processors.variants``).
+    ``memory`` parameterises the cache hierarchy (a
+    :class:`~repro.describe.MemorySpec`; the default is the split 32 KB
+    L1 organisation every golden statistic was captured with) — the
+    ``strongarm-l2`` and cache-sweep registry entries are built this way.
     """
     alu = _stagewise(
         "alu",
@@ -149,6 +154,7 @@ def strongarm_spec(issue_width=1, name="StrongARM"):
         fetch=FetchSpec(style="sequential", capacity_stage="FD", stall_stage="FSTALL"),
         predictor=PredictorSpec(kind="static_not_taken", unit_name="predictor"),
         issue=issue,
+        memory=memory if memory is not None else MemorySpec(),
         description=description,
     )
 

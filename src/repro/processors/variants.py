@@ -21,13 +21,21 @@ not a page of guard/action closures per operation class.
   claim that RCPN covers multi-issue pipelines with the same formalism is
   exercised by these two entries — the differential and golden tests run
   them like any other registered model.
+* :func:`strongarm_l2_spec` / :func:`xscale_l2_spec` and the
+  :data:`CACHE_SWEEP` family — memory-hierarchy variants built by handing
+  the parent spec a :class:`~repro.describe.MemorySpec`: a small split L1
+  whose capacity misses are served by a shared L2 (the ``-l2`` entries)
+  or go straight to memory (the ``-c512``/``-c2k``/``-c8k`` sweep points
+  the Figure 12 cache-sensitivity campaign compares).
 """
 
 from __future__ import annotations
 
 from repro.describe import (
+    CacheLevelSpec,
     FetchSpec,
     HazardSpec,
+    MemorySpec,
     OpClassPathSpec,
     PipelineSpec,
     PlaceSpec,
@@ -129,3 +137,71 @@ def strongarm_ds_spec():
 def xscale_ds_spec():
     """Dual-issue XScale: X pipe pairs with the memory or MAC side pipe."""
     return xscale_spec(issue_width=2, name="XScale-DS")
+
+
+# ---------------------------------------------------------------------------
+# Memory-hierarchy variants (Figure 12 cache-sensitivity family)
+# ---------------------------------------------------------------------------
+
+#: The shared second level of the ``-l2`` variants: large enough to hold
+#: every working set the kernels have, cheap enough (6 vs 30 cycles) that a
+#: capacity miss served by it is visibly cheaper than a trip to memory.
+L2_LEVEL = CacheLevelSpec(
+    name="L2", size_bytes=16 * 1024, line_bytes=32, associativity=8, hit_latency=6
+)
+
+
+def small_l1_memory(size_bytes, associativity, l2=None):
+    """A split L1 of the given geometry, optionally backed by a shared L2.
+
+    The kernels' data working sets overflow sub-kilobyte L1s (blowfish's
+    S-box alone is 1 KB), which is exactly what the cache-sensitivity
+    sweep needs: capacity misses whose cost depends on what backs the L1.
+    """
+    return MemorySpec(
+        l1_instruction=CacheLevelSpec(
+            name="I$", size_bytes=size_bytes, line_bytes=32, associativity=associativity
+        ),
+        l1_data=CacheLevelSpec(
+            name="D$", size_bytes=size_bytes, line_bytes=32, associativity=associativity
+        ),
+        l2=l2,
+    )
+
+
+def strongarm_l2_spec():
+    """StrongARM with a 512 B direct-mapped split L1 and a shared 16 KB L2."""
+    return strongarm_spec(
+        name="StrongARM-L2", memory=small_l1_memory(512, 1, l2=L2_LEVEL)
+    )
+
+
+def xscale_l2_spec():
+    """XScale with a 512 B direct-mapped split L1 and a shared 16 KB L2."""
+    return xscale_spec(name="XScale-L2", memory=small_l1_memory(512, 1, l2=L2_LEVEL))
+
+
+def _cache_sweep_spec(label, size_bytes, associativity):
+    def factory():
+        return strongarm_spec(
+            name="StrongARM-C%s" % label.upper(),
+            memory=small_l1_memory(size_bytes, associativity),
+        )
+
+    factory.__name__ = "strongarm_c%s_spec" % label
+    factory.__doc__ = (
+        "StrongARM with a %d-byte %d-way split L1, misses served by memory."
+        % (size_bytes, associativity)
+    )
+    return factory
+
+
+#: The cache-geometry sweep family: registry suffix -> spec factory.  The
+#: 512 B point shares its L1 geometry with the ``-l2`` variants, so the
+#: ``strongarm-c512`` / ``strongarm-l2`` pair isolates exactly the cost of
+#: a miss (L2 fill vs memory fill) on identical miss streams.
+CACHE_SWEEP = {
+    "c512": _cache_sweep_spec("c512", 512, 1),
+    "c2k": _cache_sweep_spec("c2k", 2 * 1024, 2),
+    "c8k": _cache_sweep_spec("c8k", 8 * 1024, 4),
+}

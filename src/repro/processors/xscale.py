@@ -27,6 +27,7 @@ from repro.describe import (
     HazardSpec,
     IssuePortSpec,
     IssueSpec,
+    MemorySpec,
     PipelineSpec,
     PredictorSpec,
     StageSpec,
@@ -51,6 +52,7 @@ def xscale_spec(
     forward_states=FORWARD_STATES,
     name="XScale",
     issue_width=1,
+    memory=None,
 ):
     """The XScale model as a declarative pipeline description.
 
@@ -60,7 +62,9 @@ def xscale_spec(
     and the X pipe to two slots and issues in order out of RF, pairing an
     integer operation with a load/store or a multiply (the single-slot D1
     and M1 latches are declared as issue ports) — the ``xscale-ds``
-    registry entry.
+    registry entry.  ``memory`` swaps the cache hierarchy (a
+    :class:`~repro.describe.MemorySpec`) without restating the pipeline —
+    the ``xscale-l2`` registry entry.
     """
     front_end = main_stages[:4]
     issue, execute = main_stages[4], main_stages[5]
@@ -145,6 +149,7 @@ def xscale_spec(
         fetch=FetchSpec(style="btb", capacity_stage=main_stages[0]),
         predictor=PredictorSpec(kind="btb", unit_name="btb", btb_entries=128),
         issue=issue_spec,
+        memory=memory if memory is not None else MemorySpec(),
         description=description,
     )
 

@@ -6,13 +6,16 @@ from repro.compiled.plan import PLAN_CACHE
 from repro.core.exceptions import UnknownNameError
 from repro.core.scheduler import SCHEDULE_CACHE
 from repro.describe import (
+    CacheLevelSpec,
     FetchSpec,
     HazardSpec,
+    MemorySpec,
     OpClassPathSpec,
     PipelineSpec,
     SpecError,
     StageSpec,
     TransitionSpec,
+    build_memory_config,
     elaborate,
     linear_path,
 )
@@ -180,6 +183,84 @@ def test_elaborate_rejects_non_spec():
         elaborate(object())
 
 
+# -- memory hierarchy spec -----------------------------------------------------
+
+
+def test_default_memory_spec_matches_legacy_memory_config():
+    # A spec that does not mention memory must elaborate to exactly the
+    # hierarchy every pre-existing model was hard-wired with.
+    from repro.memory import MemorySystemConfig
+
+    assert build_memory_config(MemorySpec()) == MemorySystemConfig()
+
+
+def test_bad_cache_geometry_is_rejected_at_spec_validation():
+    for level in (
+        CacheLevelSpec(associativity=0),
+        CacheLevelSpec(associativity=-4),
+        CacheLevelSpec(hit_latency=-1),
+        CacheLevelSpec(miss_penalty=-2),
+        CacheLevelSpec(line_bytes=24),
+        CacheLevelSpec(size_bytes=1000, line_bytes=32, associativity=4),
+    ):
+        bad = tiny_spec(memory=MemorySpec(l1_data=level))
+        with pytest.raises(SpecError):
+            bad.validate()
+
+
+def test_negative_memory_latency_is_rejected():
+    with pytest.raises(SpecError, match="memory latency"):
+        tiny_spec(memory=MemorySpec(memory_latency=-1)).validate()
+
+
+def test_unified_l1_rejects_customised_split_caches():
+    bad = MemorySpec(
+        l1_unified=CacheLevelSpec(name="L1$"),
+        l1_data=CacheLevelSpec(name="D$", size_bytes=1024, associativity=2),
+    )
+    with pytest.raises(SpecError, match="unified L1"):
+        tiny_spec(memory=bad).validate()
+
+
+def test_unified_l1_and_l2_elaborate_into_the_hierarchy():
+    spec = tiny_spec(
+        memory=MemorySpec(
+            l1_unified=CacheLevelSpec(name="L1$", size_bytes=1024, associativity=2),
+            l2=CacheLevelSpec(name="L2", size_bytes=8 * 1024, associativity=4, hit_latency=5),
+        )
+    )
+    processor = elaborate(spec)
+    memory = processor.memory
+    assert memory.icache is memory.dcache
+    assert memory.l2 is not None and memory.l2.config.hit_latency == 5
+    hierarchy = processor.generation_report.memory_hierarchy
+    assert [level["role"] for level in hierarchy] == ["l1-unified", "l2", "memory"]
+
+
+def test_memory_spec_participates_in_the_fingerprint():
+    base = tiny_spec()
+    explicit_default = tiny_spec(memory=MemorySpec())
+    smaller = tiny_spec(
+        memory=MemorySpec(l1_data=CacheLevelSpec(name="D$", size_bytes=1024, associativity=2))
+    )
+    with_l2 = tiny_spec(memory=MemorySpec(l2=CacheLevelSpec(name="L2")))
+    assert base.fingerprint() == explicit_default.fingerprint()
+    assert base.fingerprint() != smaller.fingerprint()
+    assert base.fingerprint() != with_l2.fingerprint()
+    assert smaller.fingerprint() != with_l2.fingerprint()
+
+
+def test_explicit_memory_config_still_overrides_the_spec():
+    # The escape hatch: a runtime MemorySystemConfig wins over spec memory.
+    from repro.memory import CacheConfig, MemorySystemConfig
+
+    config = MemorySystemConfig(
+        dcache=CacheConfig(name="D$", size_bytes=1024, associativity=2, miss_penalty=0)
+    )
+    processor = elaborate(tiny_spec(), memory_config=config)
+    assert processor.memory.dcache.config.size_bytes == 1024
+
+
 # -- fingerprints and generation caches ---------------------------------------
 
 
@@ -269,9 +350,9 @@ def test_tiny_spec_elaborates_and_runs():
 # -- registries ----------------------------------------------------------------
 
 
-def test_registry_exposes_at_least_seven_models():
+def test_registry_exposes_the_shipped_models():
     names = processor_names()
-    assert len(names) >= 7
+    assert len(names) >= 12
     for required in (
         "example",
         "strongarm",
@@ -280,6 +361,11 @@ def test_registry_exposes_at_least_seven_models():
         "xscale-deep",
         "strongarm-ds",
         "xscale-ds",
+        "strongarm-l2",
+        "xscale-l2",
+        "strongarm-c512",
+        "strongarm-c2k",
+        "strongarm-c8k",
     ):
         assert required in names
 

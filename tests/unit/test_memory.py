@@ -61,6 +61,25 @@ def test_cache_config_validation():
         CacheConfig(size_bytes=1000, line_bytes=32, associativity=4)
 
 
+def test_cache_config_rejects_non_positive_associativity():
+    # Regression: associativity <= 0 used to slip through __post_init__ and
+    # surface later as a ZeroDivisionError from num_sets.
+    with pytest.raises(ValueError, match="associativity"):
+        CacheConfig(associativity=0)
+    with pytest.raises(ValueError, match="associativity"):
+        CacheConfig(associativity=-8)
+
+
+def test_cache_config_rejects_negative_latencies():
+    # Regression: negative latencies produced negative token delays.
+    with pytest.raises(ValueError, match="hit latency"):
+        CacheConfig(hit_latency=-1)
+    with pytest.raises(ValueError, match="miss penalty"):
+        CacheConfig(miss_penalty=-5)
+    with pytest.raises(ValueError, match="cache size"):
+        CacheConfig(size_bytes=0, line_bytes=32, associativity=1)
+
+
 def test_cache_miss_then_hit():
     cache = Cache(CacheConfig(size_bytes=1024, line_bytes=32, associativity=2,
                               hit_latency=1, miss_penalty=10))
@@ -102,6 +121,107 @@ def test_cache_hit_rate_property():
     assert cache.stats.hit_rate == 0.5
 
 
+# -- write-back path -------------------------------------------------------------
+
+class RecordingBacking:
+    """A backing-store stub that records every (address, is_write) access."""
+
+    def __init__(self, latency=10):
+        self.latency = latency
+        self.calls = []
+
+    def access_latency(self, address, is_write=False):
+        self.calls.append((address, is_write))
+        return self.latency
+
+
+def direct_mapped(backing=None, sets=2):
+    config = CacheConfig(
+        name="WB", size_bytes=32 * sets, line_bytes=32, associativity=1,
+        hit_latency=1, miss_penalty=0,
+    )
+    return Cache(config, backing=backing), 32 * sets  # (cache, same-set stride)
+
+
+def test_dirty_eviction_charges_the_backing_store():
+    backing = RecordingBacking(latency=10)
+    cache, stride = direct_mapped(backing)
+    first = cache.access(0, is_write=True)          # miss: fill read only
+    assert backing.calls == [(0, False)]
+    assert first == 1 + 10
+    second = cache.access(stride)                   # evicts the dirty line
+    assert cache.stats.writebacks == 1
+    # The miss pays the fill *and* the victim writeback, in that order.
+    assert backing.calls == [(0, False), (stride, False), (0, True)]
+    assert second == 1 + 10 + 10
+
+
+def test_clean_eviction_does_not_write_back():
+    backing = RecordingBacking(latency=10)
+    cache, stride = direct_mapped(backing)
+    cache.access(0)
+    latency = cache.access(stride)                  # evicts a clean line
+    assert cache.stats.evictions == 1
+    assert cache.stats.writebacks == 0
+    assert (0, True) not in backing.calls
+    assert latency == 1 + 10
+
+
+def test_writeback_without_backing_is_counted_but_free():
+    cache, stride = direct_mapped(backing=None)
+    cache.access(0, is_write=True)
+    latency = cache.access(stride)
+    assert cache.stats.writebacks == 1
+    assert latency == 1                             # nothing below to charge
+
+
+def test_miss_cycles_accumulate_the_full_miss_price():
+    backing = RecordingBacking(latency=10)
+    cache, stride = direct_mapped(backing)
+    cache.access(0, is_write=True)                  # 11
+    cache.access(stride)                            # 11 + 10 writeback
+    cache.access(stride)                            # hit: charges nothing
+    assert cache.stats.miss_cycles == 11 + 21
+    assert cache.stats.as_dict()["miss_cycles"] == 32
+
+
+def test_write_hit_refreshes_lru_recency():
+    # Mixed read/write sequence in one 2-way set: the write to A must make
+    # A most-recently-used, so the next conflict evicts B, not A.
+    config = CacheConfig(size_bytes=64, line_bytes=32, associativity=2,
+                         hit_latency=1, miss_penalty=0)
+    cache = Cache(config)
+    stride = 32 * config.num_sets
+    a, b, c = 0, stride, 2 * stride
+    cache.access(a)
+    cache.access(b)                                 # LRU order now: A, B(MRU)
+    cache.access(a, is_write=True)                  # write hit: A becomes MRU
+    cache.access(c)                                 # evicts B
+    assert cache.contains(a) and not cache.contains(b)
+    assert cache.stats.writebacks == 0              # B was clean
+    cache.access(a)                                 # read hit keeps A dirty+MRU
+    cache.access(b)                                 # evicts C (clean)
+    assert cache.contains(a) and not cache.contains(c)
+    assert cache.stats.writebacks == 0
+    cache.access(c)                                 # evicts A -> dirty writeback
+    assert cache.stats.writebacks == 1
+
+
+def test_l1_writeback_lands_in_the_l2_not_in_memory():
+    # Chained levels: a dirty L1 victim is written into the L2 (dirtying
+    # the line there); only an L2 eviction pushes it towards memory.
+    l2 = Cache(CacheConfig(name="L2", size_bytes=128, line_bytes=32,
+                           associativity=2, hit_latency=4, miss_penalty=0),
+               backing=RecordingBacking(latency=30))
+    l1, stride = direct_mapped(backing=l2)
+    l1.access(0, is_write=True)                     # L1+L2 miss, fill through L2
+    assert l2.stats.misses == 1
+    l1.access(stride)                               # dirty eviction -> L2 write hit
+    assert l1.stats.writebacks == 1
+    assert l2.stats.hits == 1 and l2.stats.accesses == 3
+    assert l2.stats.writebacks == 0                 # still resident in L2
+
+
 # -- memory system -----------------------------------------------------------------
 
 def test_memory_system_functional_interface():
@@ -124,6 +244,35 @@ def test_memory_system_perfect_cache_mode():
     assert system.instruction_delay(0x4000) == system.config.icache.hit_latency
 
 
+def test_perfect_caches_count_accesses_as_hits():
+    # Regression: perfect caches used to bypass the statistics entirely,
+    # reporting zero accesses and a misleading 0.0 hit rate.
+    system = MemorySystem(MemorySystemConfig(perfect_caches=True))
+    for address in (0x0, 0x4, 0x1000):
+        system.instruction_delay(address)
+    system.data_delay(0x2000)
+    system.data_delay(0x2000, is_write=True)
+    stats = system.statistics()
+    assert stats["icache"].accesses == 3 and stats["icache"].hit_rate == 1.0
+    assert stats["dcache"].accesses == 2 and stats["dcache"].misses == 0
+    assert system.statistics_summary()["perfect_caches"] is True
+
+
+def test_perfect_caches_do_not_build_or_report_an_unreachable_l2():
+    # Perfect L1s never miss, so a declared L2 can never be consulted;
+    # reporting it would resurrect the all-zero-statistics lie.
+    system = MemorySystem(
+        MemorySystemConfig(
+            perfect_caches=True,
+            l2=CacheConfig(name="L2", size_bytes=4096, associativity=4, miss_penalty=0),
+        )
+    )
+    system.data_delay(0x1000)
+    assert system.l2 is None
+    assert "l2" not in system.statistics()
+    assert system.statistics_summary()["l2"] is None
+
+
 def test_memory_system_statistics_structure():
     system = MemorySystem()
     system.instruction_delay(0)
@@ -131,6 +280,76 @@ def test_memory_system_statistics_structure():
     stats = system.statistics()
     assert stats["icache"].accesses == 1
     assert stats["dcache"].accesses == 1
+    assert "l2" not in stats
+    summary = system.statistics_summary()
+    assert summary["l2"] is None
+    assert summary["dcache"]["accesses"] == 1
+
+
+def test_memory_system_config_validation():
+    with pytest.raises(ValueError, match="memory latency"):
+        MemorySystemConfig(memory_latency=-1)
+    with pytest.raises(ValueError, match="l2"):
+        MemorySystemConfig(l2="not-a-config")
+    with pytest.raises(ValueError, match="unified"):
+        MemorySystemConfig(
+            unified_l1=True,
+            dcache=CacheConfig(name="D$", size_bytes=1024, associativity=2),
+        )
+
+
+def small_hierarchy(l2=True):
+    small = dict(size_bytes=512, line_bytes=32, associativity=2,
+                 hit_latency=1, miss_penalty=0)
+    return MemorySystemConfig(
+        icache=CacheConfig(name="I$", **small),
+        dcache=CacheConfig(name="D$", **small),
+        l2=CacheConfig(name="L2", size_bytes=4096, line_bytes=32,
+                       associativity=4, hit_latency=6, miss_penalty=0)
+        if l2 else None,
+        memory_latency=30,
+    )
+
+
+def test_l2_serves_l1_capacity_misses_cheaper_than_memory():
+    system = MemorySystem(small_hierarchy())
+    stride = 32 * system.dcache.config.num_sets
+    addresses = [i * stride for i in range(3)]      # one set, 2 ways: thrash
+    for address in addresses:
+        system.data_delay(address)                  # cold: through L2 to memory
+    assert system.data_delay(addresses[0]) == 1 + 6  # evicted from L1, hits L2
+    assert system.l2.stats.hits == 1
+    direct = MemorySystem(small_hierarchy(l2=False))
+    for address in addresses:
+        direct.data_delay(address)
+    assert direct.data_delay(addresses[0]) == 1 + 30  # same miss, memory-direct
+    assert "l2" in system.statistics()
+    assert system.statistics_summary()["l2"]["hits"] == 1
+
+
+def test_unified_l1_shares_one_cache_between_fetch_and_data():
+    level = CacheConfig(name="L1$", size_bytes=1024, associativity=2, miss_penalty=0)
+    system = MemorySystem(
+        MemorySystemConfig(icache=level, dcache=level, unified_l1=True)
+    )
+    assert system.icache is system.dcache
+    system.instruction_delay(0x100)                 # warms the shared cache
+    assert system.data_delay(0x100) == level.hit_latency
+    assert system.statistics()["icache"].accesses == 2
+    assert system.statistics_summary()["unified_l1"] is True
+
+
+def test_reset_statistics_keeps_lines_warm_but_reset_colds_them():
+    system = MemorySystem()
+    miss = system.data_delay(0x1000)
+    system.reset_statistics()
+    assert system.statistics()["dcache"].accesses == 0
+    assert system.dcache.contains(0x1000)           # counters only: still warm
+    assert system.data_delay(0x1000) < miss
+    system.reset()
+    assert not system.dcache.contains(0x1000)       # full reset: cold tags
+    assert system.data_delay(0x1000) == miss
+    assert system.statistics()["dcache"].misses == 1
 
 
 # -- branch predictors -----------------------------------------------------------
