@@ -19,6 +19,13 @@ Sub-packages
     specialized guard/capacity checks, active-place worklist, reservation
     token pooling), selected with ``EngineOptions(backend="compiled")``.
     Bit-identical statistics to the interpreted engine, higher throughput.
+``repro.codegen``
+    Source-level simulator generation, selected with
+    ``EngineOptions(backend="generated")``: the model is emitted as real
+    Python source — one straight-line per-cycle ``step()`` with dispatch
+    tables, capacity literals and issue gating baked into the text —
+    ``exec``'d into a module and disk-cached under the spec fingerprint.
+    Same bit-identical statistics contract, highest throughput.
 ``repro.describe``
     The declarative pipeline-description layer: ``PipelineSpec`` and
     friends (pure data, validated, content-hashed), the shared ARM
@@ -59,11 +66,12 @@ Sub-packages
     tables, and driven from the ``python -m repro.campaign`` CLI.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "core",
     "compiled",
+    "codegen",
     "describe",
     "cpn",
     "isa",

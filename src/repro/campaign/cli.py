@@ -45,7 +45,7 @@ def _grid_arguments(parser):
     parser.add_argument(
         "--engines",
         default="interpreted,compiled",
-        help="comma-separated engine backends (interpreted, compiled)",
+        help="comma-separated engine backends (interpreted, compiled, generated)",
     )
     parser.add_argument("--repeats", type=int, default=1, help="runs per grid point")
     parser.add_argument("--max-cycles", type=int, default=None, help="per-run cycle budget")
@@ -168,10 +168,11 @@ def _command_report(args, out):
     if caches:
         out.write("\ncache behaviour (per-level miss rates):\n")
         out.write(aggregate.render(caches) + "\n")
-    speedups = aggregate.speedup_table(results)
-    if speedups:
-        out.write("\nspeedup (compiled over interpreted):\n")
-        out.write(aggregate.render(speedups) + "\n")
+    for against in ("compiled", "generated"):
+        speedups = aggregate.speedup_table(results, against=against)
+        if speedups:
+            out.write("\nspeedup (%s over interpreted):\n" % against)
+            out.write(aggregate.render(speedups) + "\n")
     if args.csv:
         count = aggregate.to_csv(results, args.csv)
         out.write("\nwrote %d rows to %s\n" % (count, args.csv))

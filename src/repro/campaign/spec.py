@@ -42,9 +42,11 @@ class EngineVariant:
     ``label`` names the variant in results and reports; ``options`` is the
     full :class:`~repro.core.engine.EngineOptions` (``None`` means the
     defaults) and ``use_decode_cache`` is the builder-level decode-cache
-    knob the Section 4 ablation sweeps.  The plain strings
-    ``"interpreted"``/``"compiled"`` are accepted anywhere a variant is and
-    normalise to a variant of that backend with default options.
+    knob the Section 4 ablation sweeps.  The plain backend strings
+    (``"interpreted"``/``"compiled"``/``"generated"``, see
+    :data:`~repro.core.engine.ENGINE_BACKENDS`) are accepted anywhere a
+    variant is and normalise to a variant of that backend with default
+    options.
     """
 
     label: str

@@ -19,7 +19,7 @@ from repro.core.token import ReservationToken
 
 
 #: Valid values of :attr:`EngineOptions.backend`.
-ENGINE_BACKENDS = ("interpreted", "compiled")
+ENGINE_BACKENDS = ("interpreted", "compiled", "generated")
 
 
 @dataclass
@@ -36,18 +36,24 @@ class EngineOptions:
       evaluates the model into flat per-place closures once and runs those
       (the paper's simulator generation).  Statistics are bit-identical to
       the interpreted backend; only wall-clock throughput differs.
+    * ``"generated"`` — :class:`repro.codegen.GeneratedEngine` emits the
+      model as real Python source (a straight-line per-cycle ``step()``
+      with dispatch tables and capacity checks inlined as code), ``exec``s
+      it and disk-caches the source under the spec fingerprint.  Same
+      bit-identical statistics contract as the compiled backend.
 
     Which knobs apply to which backend:
 
     * ``max_cycles``, ``stall_limit``, ``collect_utilization``,
-      ``two_list_everywhere`` — both backends (they shape the shared
+      ``two_list_everywhere`` — all backends (they shape the shared
       :class:`~repro.core.scheduler.StaticSchedule` or the shared run
       loop).
     * ``use_sorted_transitions`` — interpreted only.  It exists so the
       ablation benchmark can price the sorted-dispatch optimisation; the
-      compiled backend always bakes the sorted dispatch tables into its
-      closures at generation time, so the knob has no run-time effect
-      there.
+      compiled and generated backends always bake the sorted dispatch
+      tables into their closures/source at generation time, so the knob
+      has no run-time effect there (it still participates in the codegen
+      cache key, since it shapes the shared schedule).
 
     ``use_sorted_transitions`` and ``two_list_everywhere`` switch the two
     paper optimisations off/on (Section 4); ``collect_utilization`` samples

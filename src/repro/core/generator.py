@@ -13,11 +13,15 @@ returns a ready-to-run engine for the backend selected in
 * ``backend="compiled"`` — the structures are additionally partially
   evaluated into flat closures by :mod:`repro.compiled` and executed by
   :class:`~repro.compiled.CompiledEngine` (the paper's generated-simulator
-  fast path).
+  fast path);
+* ``backend="generated"`` — the structures are emitted as Python *source*
+  by :mod:`repro.codegen`, ``exec``'d into a module (disk-cached under the
+  spec fingerprint) and executed by
+  :class:`~repro.codegen.GeneratedEngine`.
 
 :class:`GenerationReport` exposes the derived structures so tests and
-benchmarks can inspect them; for the compiled backend it also carries the
-closure-specialisation counters.
+benchmarks can inspect them; for the compiled and generated backends it
+also carries the specialisation counters.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ class GenerationReport:
     dispatch_entries: int = 0
     nonempty_dispatch_entries: int = 0
     generator_transitions: list = field(default_factory=list)
-    #: Closure-specialisation counters (compiled backend only, else None).
+    #: Specialisation counters (compiled/generated backends only, else None).
     compilation: dict = None
     #: Content hash of the pipeline spec (None for hand-built nets).
     spec_fingerprint: str = None
@@ -73,7 +77,8 @@ def generate_simulator(net, options=None):
 
     Returns ``(engine, report)``: the engine is ready to run, the report
     describes the statically derived structures.  The engine class is
-    selected by ``options.backend`` (``"interpreted"`` or ``"compiled"``).
+    selected by ``options.backend`` (one of
+    :data:`~repro.core.engine.ENGINE_BACKENDS`).
     """
     options = options or EngineOptions()
     if options.backend not in ENGINE_BACKENDS:
@@ -86,6 +91,11 @@ def generate_simulator(net, options=None):
         from repro.compiled import CompiledEngine
 
         engine = CompiledEngine(net, options=options)
+    elif options.backend == "generated":
+        # Imported lazily: repro.codegen builds on repro.core.engine.
+        from repro.codegen import GeneratedEngine
+
+        engine = GeneratedEngine(net, options=options)
     else:
         engine = SimulationEngine(net, options=options)
     schedule = engine.schedule
@@ -101,7 +111,11 @@ def generate_simulator(net, options=None):
         dispatch_entries=len(dispatch),
         nonempty_dispatch_entries=sum(1 for value in dispatch.values() if value),
         generator_transitions=[t.name for t in schedule.generator_transitions],
-        compilation=engine.compilation_summary() if options.backend == "compiled" else None,
+        compilation=(
+            engine.compilation_summary()
+            if options.backend in ("compiled", "generated")
+            else None
+        ),
         spec_fingerprint=fingerprint,
         schedule_cache=(
             ("hit" if schedule.from_cache else "miss") if fingerprint is not None else "uncached"

@@ -168,9 +168,12 @@ def elaborate(
     """Elaborate ``spec`` and generate its cycle-accurate simulator.
 
     Returns a :class:`~repro.describe.substrate.Processor`; ``backend``
-    selects the engine ("interpreted"/"compiled"), overriding
+    selects the engine ("interpreted"/"compiled"/"generated", see
+    :data:`~repro.core.engine.ENGINE_BACKENDS`), overriding
     ``engine_options.backend`` when given — the same contract as the
-    hand-written model builders it replaces.
+    hand-written model builders it replaces.  The stamped
+    ``net.spec_fingerprint`` is what the generated backend's source cache
+    keys on, so rebuilding the same spec re-uses its emitted module.
     """
     net, decoder, core, memory, _ = elaborate_net(
         spec,

@@ -181,7 +181,12 @@ class ArmSemantics:
         :meth:`~repro.describe.substrate.IssueControl.may_issue` and the
         action books the slot via ``note_issue`` before the original
         behaviour runs.  The wrapped guard carries an ``issue_gate`` marker
-        so the compiled planner can report how many transitions were gated.
+        so the compiled planner can report how many transitions were gated,
+        plus the unwrapped parts (``base_guard``/``base_action``, the
+        arbiter and the port) so the source-emitting backend
+        (:mod:`repro.codegen`) can specialise the gate away at emit time —
+        calling the arbiter and the original hook directly instead of
+        through this wrapper.
         """
         control = self.issue_control
 
@@ -201,6 +206,13 @@ class ArmSemantics:
                 _action(t, ctx)
 
         gated_guard.issue_gate = True
+        gated_guard.base_guard = guard
+        gated_guard.control = control
+        gated_guard.port = port
+        gated_action.issue_gate = True
+        gated_action.base_action = action
+        gated_action.control = control
+        gated_action.port = port
         return gated_guard, gated_action
 
     def advance_gate(self, guard, source_stage):
@@ -220,6 +232,9 @@ class ArmSemantics:
                 return control.may_advance(t, source_stage) and _guard(t, ctx)
 
         gated_guard.advance_gate = True
+        gated_guard.base_guard = guard
+        gated_guard.control = control
+        gated_guard.stage = source_stage
         return gated_guard
 
     # -- fetch ---------------------------------------------------------------

@@ -559,8 +559,9 @@ def resolve_engine_options(engine_options, backend=None):
     """Merge a builder's ``engine_options`` and ``backend`` arguments.
 
     Every model builder accepts both an :class:`EngineOptions` object and a
-    ``backend`` shortcut string (``"interpreted"`` / ``"compiled"``); the
-    shortcut, when given, overrides the backend recorded in the options.
+    ``backend`` shortcut string (``"interpreted"`` / ``"compiled"`` /
+    ``"generated"``); the shortcut, when given, overrides the backend
+    recorded in the options.
     The caller's options object is never mutated.
     """
     options = engine_options or EngineOptions()
@@ -591,7 +592,7 @@ class Processor:
 
     @property
     def backend(self):
-        """Execution strategy of the generated engine ("interpreted"/"compiled")."""
+        """Execution strategy of the engine ("interpreted"/"compiled"/"generated")."""
         return self.engine.backend
 
     @property

@@ -1,0 +1,107 @@
+"""Three-way backend equivalence matrix: interpreted / compiled / generated.
+
+Every engine backend is contractually bit-identical in every statistic
+the simulator exposes.  This matrix enforces the contract for **every
+model in the processor registry** across every workload the model
+supports, comparing
+
+* the run statistics (cycles, instructions, stalls, squashes,
+  per-transition firing counts, finish reason),
+* the architectural state (registers, flags), and
+* the memory-system counters (per-level accesses/hits/misses **and**
+  ``miss_cycles``, which the cache-model bugfix sweep of PR 5 pinned).
+
+It replaces the pairwise interpreted-vs-compiled sweep that lived in
+``test_compiled_differential.py``: one parametrized run per (model,
+kernel) pair now covers all three backends at once.  Backend-specific
+*reset* semantics stay in their per-backend files; the generated
+backend's reset-reuse regression lives here because it is the
+equivalence contract applied to a second run of the same engine.
+"""
+
+import pytest
+
+from repro.core.engine import ENGINE_BACKENDS
+from repro.processors import build_processor, processor_names, supported_kernels
+from repro.workloads import get_workload, workload_names
+
+KERNELS = workload_names()
+
+#: Every (model, kernel) pair the registry says is executable.
+MODEL_KERNEL_PAIRS = [
+    (model, kernel)
+    for model in processor_names()
+    for kernel in supported_kernels(model, KERNELS)
+]
+
+
+def run_backend(model, workload, backend):
+    processor = build_processor(model, backend=backend)
+    processor.load_program(workload.program)
+    stats = processor.run(max_cycles=2_000_000)
+    return processor, stats
+
+
+def observable_state(processor, stats):
+    """Everything a backend may not change: statistics + architecture + memory."""
+    return {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "stalls": stats.stalls,
+        "squashed": stats.squashed,
+        "generated_tokens": stats.generated_tokens,
+        "retired_by_class": dict(stats.retired_by_class),
+        "transition_firings": dict(stats.transition_firings),
+        "finish_reason": stats.finish_reason,
+        "registers": [processor.register(index) for index in range(16)],
+        "flags": processor.flags(),
+        "memory": processor.memory.statistics_summary(),
+    }
+
+
+def test_backend_matrix_covers_all_registered_backends():
+    """The matrix below must not silently fall behind the engine registry."""
+    assert set(ENGINE_BACKENDS) == {"interpreted", "compiled", "generated"}
+
+
+@pytest.mark.parametrize("model,kernel", MODEL_KERNEL_PAIRS)
+def test_all_backends_bit_identical(model, kernel):
+    workload = get_workload(kernel, scale=1)
+
+    states = {
+        backend: observable_state(*run_backend(model, workload, backend))
+        for backend in ENGINE_BACKENDS
+    }
+
+    reference = states["interpreted"]
+    assert reference["finish_reason"] == "halt"
+    for backend in ENGINE_BACKENDS[1:]:
+        assert states[backend] == reference, backend
+
+
+def test_generated_engine_reset_reuses_emitted_module():
+    """Two back-to-back runs on one generated engine: identical stats, no re-emission.
+
+    ``strongarm-c512`` + blowfish is the sweep point whose working set
+    overflows the 512 B L1, so the second run only reproduces the first if
+    ``reset()`` really restores the caches *and* the bound step function
+    (places, stages, reservation pool) survives untouched.
+    """
+    workload = get_workload("blowfish", scale=1)
+    processor = build_processor("strongarm-c512", backend="generated")
+    processor.load_program(workload.program)
+    first = processor.run(max_cycles=2_000_000)
+    first_state = observable_state(processor, first)
+    assert first.finish_reason == "halt"
+    step_fn = processor.engine._step_fn
+    module = processor.engine.module
+
+    processor.reset()
+    processor.load_program(workload.program)
+    second = processor.run(max_cycles=2_000_000)
+
+    assert observable_state(processor, second) == first_state
+    # reset() must keep the emitted artefacts: same module, same bound
+    # step function — re-running costs zero re-emissions.
+    assert processor.engine._step_fn is step_fn
+    assert processor.engine.module is module

@@ -3,17 +3,17 @@
 The six paper kernels exercise fixed instruction sequences; this layer
 fuzzes the *mix*: eight seeded :class:`SyntheticWorkloadGenerator`
 programs (ALU-heavy, branchy, memory-bound, multiply chains ...) run on
-every model the registry knows, on both engine backends, and every run is
-checked two ways:
+every model the registry knows, on every engine backend, and every run
+is checked two ways:
 
 * **architectural** — the retired instruction count, the architectural
   registers, the condition flags and the syscall output must match a
   functional (instruction-set) simulation of the same binary; timing
   models may reorder completion, never results;
-* **backend** — the interpreted and compiled engines must produce
-  bit-identical statistics (cycles, stalls, squashes, per-transition
-  firing counts), the same contract the kernel-based differential tests
-  enforce.
+* **backend** — the interpreted, compiled and generated engines must
+  produce bit-identical statistics (cycles, stalls, squashes,
+  per-transition firing counts), the same contract
+  ``test_backend_equivalence.py`` enforces on the paper kernels.
 
 The seeds below are fixed so failures reproduce exactly; to investigate
 one, rebuild the program with the same constructor arguments (see
@@ -167,5 +167,8 @@ def test_fuzzed_model_matches_functional_and_backends_agree(name, model):
     assert list(getattr(interpreted.core, "output", [])) == reference["output"]
 
     # Bit-identical statistics across engine backends.
+    reference = observable_state(interpreted, istats)
     compiled, cstats = run_model(model, name, "compiled")
-    assert observable_state(compiled, cstats) == observable_state(interpreted, istats)
+    assert observable_state(compiled, cstats) == reference
+    generated, gstats = run_model(model, name, "generated")
+    assert observable_state(generated, gstats) == reference

@@ -5,6 +5,11 @@ models *before* they were rebuilt on the declarative description layer
 (``repro.describe``).  The refactor is required to be bit-identical: any
 change to cycle counts, retired-instruction counts, stall counts or the
 architectural result is a modeling regression, not noise.
+
+The golden rows run on both the interpreted reference engine and the
+source-level generated backend (``repro.codegen``): an emitted module
+that drifts from these absolute numbers is a codegen regression even if
+it still agrees with the interpreter of the same build.
 """
 
 import pytest
@@ -82,13 +87,14 @@ GOLDEN = {
 }
 
 
+@pytest.mark.parametrize("backend", ["interpreted", "generated"])
 @pytest.mark.parametrize("model,kernel", sorted(GOLDEN))
-def test_golden_statistics_are_unchanged(model, kernel):
+def test_golden_statistics_are_unchanged(model, kernel, backend):
     expected_cycles, expected_instructions, expected_stalls, expected_r0 = GOLDEN[
         (model, kernel)
     ]
     workload = get_workload(kernel, scale=1)
-    processor = build_processor(model)
+    processor = build_processor(model, backend=backend)
     processor.load_program(workload.program)
     stats = processor.run(max_cycles=2_000_000)
 
