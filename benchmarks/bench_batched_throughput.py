@@ -1,0 +1,165 @@
+"""Rows per host second: lane-batched execution vs scalar ``generated``.
+
+The batched backend (PR 7, :mod:`repro.batched`) steps N same-module
+simulations in lockstep so one run-loop dispatch — the ``finished()``
+probe, the budget checks, the ``step()`` call and the per-cycle stats
+bookkeeping — is amortised over a whole stride of cycles across every
+lane.  In pure Python that overhead is a few hundred nanoseconds against
+a step body of tens of microseconds, so the win is a *systematic few
+percent*, not a SIMD-style multiple — and host noise (frequency scaling,
+noisy CI neighbours) on any single cell routinely exceeds it.
+
+The gate therefore follows the measurement discipline the margin demands:
+
+* the scalar and batched series are interleaved round by round, so noise
+  hits both alike;
+* processors are built once and reused across rounds (``reset()`` +
+  ``load_program``), so module emission and cache traffic stay outside
+  the timed region;
+* each cell takes its best round, and the assertion compares the
+  *aggregate* best-of walls over the whole capacity sweep rather than
+  per-model cells, where a single scheduler hiccup can flip the sign.
+
+The grid is the Figure 12 capacity sweep (strongarm-c512/-c2k/-c8k) —
+three cache geometries over one pipeline, i.e. the "simulate many
+configurations of one model" campaign shape the batch planner groups
+into lane batches.
+"""
+
+import time
+
+import pytest
+
+from repro.batched import LaneBatch
+from repro.core import EngineOptions
+from repro.processors import build_processor
+from repro.workloads import get_workload
+
+from conftest import record_result
+
+#: The capacity sweep: one StrongARM pipeline, three data-cache geometries.
+SWEEP = ("strongarm-c512", "strongarm-c2k", "strongarm-c8k")
+
+#: One workload per lane: (kernel, scale).  Three lanes per model keeps the
+#: batch within the default lane budget while still amortising dispatch.
+KERNELS = (("crc", 2), ("compress", 2), ("blowfish", 1))
+
+#: Interleaved rounds per cell; each backend's figure is its best round.
+ROUNDS = 7
+
+
+def _programs():
+    return [get_workload(kernel, scale=scale).program for kernel, scale in KERNELS]
+
+
+def _scalar_round(processors, programs):
+    """One generated-backend round: run every workload, sum the walls."""
+    wall = 0.0
+    for processor, program in zip(processors, programs):
+        processor.reset()
+        processor.load_program(program)
+        start = time.perf_counter()
+        processor.run()
+        wall += time.perf_counter() - start
+    return wall
+
+
+def _batched_round(processors, programs, batch):
+    """One batched round: reload every lane, drain the batch, time the drain."""
+    for processor, program in zip(processors, programs):
+        processor.reset()
+        processor.load_program(program)
+    start = time.perf_counter()
+    batch.run()
+    return time.perf_counter() - start
+
+
+def test_batched_beats_scalar_generated_on_the_capacity_sweep(benchmark):
+    """Aggregate best-of batched wall must undercut scalar ``generated``.
+
+    CI runs this as a named gate: a batched backend that stops paying for
+    its extra bookkeeping is a performance regression even while it stays
+    bit-identical.  The same simulated cycles on both sides are asserted
+    so the comparison can never be won by simulating less.
+    """
+
+    def measure():
+        cells = {}
+        for model in SWEEP:
+            programs = _programs()
+            scalar = [build_processor(model, backend="generated") for _ in KERNELS]
+            lanes = [
+                build_processor(
+                    model,
+                    engine_options=EngineOptions(backend="batched", lanes=len(KERNELS)),
+                )
+                for _ in KERNELS
+            ]
+            batch = LaneBatch([processor.engine for processor in lanes])
+            scalar_walls, batched_walls = [], []
+            for _ in range(ROUNDS):
+                scalar_walls.append(_scalar_round(scalar, programs))
+                batched_walls.append(_batched_round(lanes, programs, batch))
+            for reference, lane in zip(scalar, lanes):
+                assert lane.stats.cycles == reference.stats.cycles, model
+                assert lane.stats.instructions == reference.stats.instructions, model
+            cells[model] = (min(scalar_walls), min(batched_walls))
+        return cells
+
+    cells = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = len(KERNELS)
+    for model, (scalar_wall, batched_wall) in cells.items():
+        record_result(
+            "Batched execution - RunSpec rows per host second (capacity sweep)",
+            {
+                "model": model,
+                "lanes": rows,
+                "generated_rows_per_sec": rows / scalar_wall,
+                "batched_rows_per_sec": rows / batched_wall,
+                "speedup": scalar_wall / batched_wall,
+            },
+        )
+
+    scalar_total = sum(scalar for scalar, _ in cells.values())
+    batched_total = sum(batched for _, batched in cells.values())
+    benchmark.extra_info["aggregate_speedup"] = round(scalar_total / batched_total, 4)
+    assert batched_total < scalar_total, (
+        "batched backend is not faster than scalar generated on the sweep "
+        "(generated %.4fs vs batched %.4fs, speedup %.4f)"
+        % (scalar_total, batched_total, scalar_total / batched_total)
+    )
+
+
+def test_single_lane_batch_overhead_is_bounded():
+    """A batch of one must not tax the scalar path it degenerates to.
+
+    ``lanes=1`` is what the campaign runner hands the batch executor when
+    a group doesn't fill — it pays the lane-tuple indirection without any
+    amortisation, so some overhead is expected; it just must stay within
+    a sane bound rather than silently regressing multiplicatively.
+    """
+    program = get_workload("crc", scale=2).program
+    scalar = build_processor("strongarm", backend="generated")
+    lane = build_processor(
+        "strongarm", engine_options=EngineOptions(backend="batched", lanes=1)
+    )
+    batch = LaneBatch([lane.engine])
+    scalar_walls, batched_walls = [], []
+    for _ in range(5):
+        scalar_walls.append(_scalar_round([scalar], [program]))
+        batched_walls.append(_batched_round([lane], [program], batch))
+    assert lane.stats.cycles == scalar.stats.cycles
+    ratio = min(batched_walls) / min(scalar_walls)
+    record_result(
+        "Batched execution - RunSpec rows per host second (capacity sweep)",
+        {
+            "model": "strongarm (lanes=1)",
+            "lanes": 1,
+            "generated_rows_per_sec": 1 / min(scalar_walls),
+            "batched_rows_per_sec": 1 / min(batched_walls),
+            "speedup": 1 / ratio,
+        },
+    )
+    if ratio > 1.15:
+        pytest.fail("single-lane batch is %.2fx the scalar wall" % ratio)

@@ -10,18 +10,27 @@ that used to be a hand-rolled loop over the registry is now planned by
 :func:`~repro.campaign.execute_run` path, so the figure and a stored
 campaign over the same grid are bit-identical by construction.
 
-The RCPN models appear three times: with the interpreted engine, with the
-compiled (closure-specialising) engine and with the generated
-(source-emitting, ``repro.codegen``) engine, so the table also quantifies
+The RCPN models appear four times: with the interpreted engine, with the
+compiled (closure-specialising) engine, with the generated
+(source-emitting, ``repro.codegen``) engine and with the batched
+(lane-lockstep, ``repro.batched``) engine, so the table also quantifies
 the paper's core claim — the generated simulator outrunning the
 interpreted model — on this host.
-``test_fig10_fast_backend_vs_interpreted_speedup`` measures both gaps
+``test_fig10_fast_backend_vs_interpreted_speedup`` measures the gaps
 head-to-head (best of several runs, identical simulated cycles enforced).
 
 The absolute numbers are host- and language-dependent (see EXPERIMENTS.md);
 the rows reproduce the figure's *structure*: same simulators, same
-benchmarks, same metric.
+benchmarks, same metric.  ``test_fig10_emit_bench_json`` persists the full
+table plus per-backend aggregates as ``BENCH_fig10.json`` at the repository
+root so the figure is diffable without re-running the harness.
 """
+
+import json
+import math
+import os
+import platform
+from collections import defaultdict
 
 import pytest
 
@@ -41,7 +50,7 @@ FIG10_CAMPAIGN = CampaignSpec(
     processors=(ALL,),
     workloads=(ALL,),
     scales=(BENCH_SCALE,),
-    engines=("interpreted", "compiled", "generated"),
+    engines=("interpreted", "compiled", "generated", "batched"),
     description="Figure 10: simulation throughput of every model on every kernel",
 )
 FIG10_PLAN = plan_campaign(FIG10_CAMPAIGN)
@@ -197,3 +206,75 @@ def test_fig10_plan_cache_hits_on_rebuild(benchmark, model):
     }
     benchmark.extra_info.update(row)
     record_result("Figure 10 (cont.) - generation cache on spec rebuilds", row)
+
+
+FIGURE_TABLE = "Figure 10 - simulation performance (simulated kcycles / host second)"
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_fig10.json"
+)
+
+
+def _geometric_mean(values):
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def test_fig10_emit_bench_json(figure_results):
+    """Persist the figure as machine-readable ``BENCH_fig10.json``.
+
+    Defined last in the module so it runs after the grid above has filled
+    the session registry; a partial invocation (``-k`` selections, single
+    test ids) skips instead of publishing a truncated figure.  The file
+    carries the raw rows plus two aggregates: geometric-mean throughput
+    per backend and geometric-mean speedup over the interpreted engine on
+    identical (model, kernel) cells.
+    """
+    rows = figure_results.get(FIGURE_TABLE, [])
+    expected = len(FIG10_PLAN.runs) + len(BASELINES) * len(workload_names())
+    if len(rows) != expected:
+        pytest.skip("fig10 grid incomplete (%d/%d rows)" % (len(rows), expected))
+
+    by_cell = {(row["simulator"], row["benchmark"]): row for row in rows}
+    throughput = defaultdict(list)  # backend -> kcycles/sec across the grid
+    speedup = defaultdict(list)  # backend -> ratio vs interpreted, same cell
+    for run in FIG10_PLAN.runs:
+        row = by_cell[(_figure_label(run), run.workload)]
+        backend = run.engine.backend
+        throughput[backend].append(row["kcycles_per_sec"])
+        if backend != "interpreted":
+            reference = by_cell[("rcpn-%s" % run.processor, run.workload)]
+            speedup[backend].append(
+                row["kcycles_per_sec"] / reference["kcycles_per_sec"]
+            )
+
+    payload = {
+        "figure": FIGURE_TABLE,
+        "scale": BENCH_SCALE,
+        "host": {"python": platform.python_version(), "machine": platform.machine()},
+        "kcycles_per_sec_geomean": {
+            backend: round(_geometric_mean(values), 3)
+            for backend, values in sorted(throughput.items())
+        },
+        "speedup_over_interpreted_geomean": {
+            backend: round(_geometric_mean(values), 4)
+            for backend, values in sorted(speedup.items())
+        },
+        "rows": sorted(
+            (
+                dict(
+                    row,
+                    kcycles_per_sec=round(row["kcycles_per_sec"], 3),
+                    cpi=round(row["cpi"], 4),
+                )
+                for row in rows
+            ),
+            key=lambda row: (row["simulator"], row["benchmark"]),
+        ),
+    }
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # The figure's headline claims must hold in the published artifact.
+    ratios = payload["speedup_over_interpreted_geomean"]
+    assert ratios["generated"] > 1.0
+    assert ratios["batched"] > 1.0

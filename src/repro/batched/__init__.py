@@ -1,0 +1,16 @@
+"""Lane-batched multi-simulation (``EngineOptions(backend="batched")``).
+
+Campaigns run thousands of cells that share a spec fingerprint — their
+per-cycle steppers are literally the same emitted code.  This package
+steps up to ``lanes`` such simulations in *lockstep*: the codegen emitter
+(:mod:`repro.codegen.emit`) wraps its straight-line step body in a lane
+loop (``make_step_batched``), every lane keeps private places, statistics
+and workload, and lanes that halt early are masked out of the active set
+until the batch drains.  Per-lane statistics are bit-identical to the
+scalar backends; only host throughput changes (dispatch amortisation, not
+SIMD — see README "Batched execution").
+"""
+
+from repro.batched.engine import LaneBatch, LaneEngine
+
+__all__ = ["LaneBatch", "LaneEngine"]

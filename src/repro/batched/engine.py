@@ -1,0 +1,284 @@
+"""The lane-batched cycle-accurate engine: N same-spec runs in lockstep.
+
+A :class:`LaneEngine` is one *lane*: structurally a
+:class:`~repro.codegen.GeneratedEngine` (same module cache, same runtime
+binding, same reservation pooling) except that its emitted module defines
+``make_step_batched(rts)`` — the straight-line step body inside a lane
+loop — instead of a scalar ``step`` function, so a lane cannot step
+itself.  A :class:`LaneBatch` collects lanes that share one emitted
+module, binds all their runtimes at once and drives the lockstep loop:
+
+* one host dispatch of ``step(start, stride, active, done)`` advances
+  every active lane by up to :attr:`LaneBatch.MAX_STRIDE` cycles (the
+  per-cycle Python call frames and counter write-backs the scalar run
+  loop pays — ``engine.step()``, ``engine.finished()``, the cycle/idle
+  attribute stores — are amortised over the stride, which is where the
+  batched-over-generated throughput win comes from in pure Python);
+* per-lane cycle/idle bookkeeping and halt-drain detection are inlined in
+  the emitted lane loop; a drained lane lands in ``done`` and is masked
+  out of ``active``;
+* run budgets (``max_cycles`` / ``max_instructions``) and the stall
+  limit are enforced by the driver with hoisted checks — the cycle limit
+  only when the batch clock reaches the nearest limit, the stall check on
+  a coarse period — preserving the scalar run loop's precedence order
+  (halt before max_cycles before max_instructions before deadlock).
+
+Statistics are bit-identical per lane to the interpreted backend — the
+backend-equivalence matrix and the lane-mechanics tests enforce this —
+except ``wall_time_seconds``, which is the batch wall time attributed to
+lanes proportionally to the cycles each lane was stepped.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.codegen.engine import GeneratedEngine
+from repro.core.exceptions import SimulationError
+
+
+class LaneEngine(GeneratedEngine):
+    """One lane of a batched simulation (``backend="batched"``).
+
+    Construction obtains the *batched* emitted module for this net (the
+    codegen cache key folds in the emission mode and ``options.lanes``)
+    and keeps the runtime binding dict; stepping happens through a
+    :class:`LaneBatch`.  ``run()`` drives a single-lane batch, which keeps
+    the engine drop-in compatible with the :class:`~repro.describe.
+    substrate.Processor` facade and the campaign's ``execute_run`` path.
+    """
+
+    backend = "batched"
+
+    def _bind_module(self, module, runtime):
+        self._runtime = runtime
+        self._solo_batch = None
+
+    def step(self):
+        raise SimulationError(
+            "batched lanes are stepped by their LaneBatch, not individually; "
+            "use LaneEngine.run() or LaneBatch.run()"
+        )
+
+    def run(self, max_cycles=None, max_instructions=None):
+        """Run this lane alone (a batch of one), returning its statistics."""
+        if self._solo_batch is None:
+            self._solo_batch = LaneBatch([self])
+        self._solo_batch.run(
+            max_cycles=[max_cycles], max_instructions=[max_instructions]
+        )
+        return self.stats
+
+
+def _per_lane(value, count):
+    """Normalise a budget argument to one value per lane."""
+    if value is None or isinstance(value, int):
+        return [value] * count
+    values = list(value)
+    if len(values) != count:
+        raise ValueError(
+            "budget list has %d entries for %d lanes" % (len(values), count)
+        )
+    return values
+
+
+class LaneBatch:
+    """A set of :class:`LaneEngine` lanes advancing in lockstep.
+
+    All lanes must run the same emitted module (same structure digest and
+    codegen key — i.e. the same spec fingerprint and emit-relevant engine
+    options) and stand at the same cycle; the batch width is capped by the
+    module's ``LANES`` constant (= ``EngineOptions.lanes`` at emission).
+    """
+
+    def __init__(self, engines):
+        engines = list(engines)
+        if not engines:
+            raise ValueError("a LaneBatch needs at least one lane")
+        for engine in engines:
+            if not isinstance(engine, LaneEngine):
+                raise TypeError(
+                    "LaneBatch lanes must be LaneEngine instances "
+                    "(backend='batched'), got %r" % type(engine).__name__
+                )
+        module = engines[0].module
+        for engine in engines[1:]:
+            if (
+                engine.module.STRUCTURE_DIGEST != module.STRUCTURE_DIGEST
+                or engine.module.CODEGEN_KEY != module.CODEGEN_KEY
+            ):
+                raise ValueError(
+                    "lanes of one batch must share an emitted module "
+                    "(same spec fingerprint and emit-relevant options); "
+                    "got %r vs %r" % (module.MODEL, engine.module.MODEL)
+                )
+        if len(engines) > module.LANES:
+            raise ValueError(
+                "batch of %d lanes exceeds the module's lane budget of %d "
+                "(EngineOptions.lanes at emission time)"
+                % (len(engines), module.LANES)
+            )
+        self.engines = engines
+        self.module = module
+        self._step = module.make_step_batched(
+            [engine._runtime for engine in engines]
+        )
+
+    #: Upper bound on how many cycles one dispatch advances each lane.
+    #: Large enough to amortise the per-lane binding unpack, small enough
+    #: that limit/stall checks stay timely (they run between strides).
+    MAX_STRIDE = 64
+
+    def __len__(self):
+        return len(self.engines)
+
+    def run(self, max_cycles=None, max_instructions=None):
+        """Run every lane to its own end; returns the per-lane statistics.
+
+        ``max_cycles``/``max_instructions`` are a single value applied to
+        every lane or one value per lane.  Each check mirrors the scalar
+        run loop exactly, per lane: a lane leaves the active set when it
+        halts and drains, hits its cycle or instruction budget, and a lane
+        idle for ``stall_limit`` consecutive cycles raises
+        :class:`~repro.core.exceptions.SimulationError` for the whole
+        batch (a deadlocked model is a modeling bug, not a result).
+        """
+        engines = self.engines
+        count = len(engines)
+        max_cycles = _per_lane(max_cycles, count)
+        max_instructions = _per_lane(max_instructions, count)
+        limits = [
+            budget if budget is not None else engines[index].options.max_cycles
+            for index, budget in enumerate(max_cycles)
+        ]
+
+        start = time.perf_counter()
+        initial_cycles = [engine.cycle for engine in engines]
+        active = []
+        done = []
+        for index, engine in enumerate(engines):
+            # Entry checks in the scalar run loop's precedence order.
+            if engine.finished():
+                engine.stats.finished = True
+                engine.stats.finish_reason = engine.halt_reason or "halt"
+            elif engine.cycle >= limits[index]:
+                engine.stats.finish_reason = "max_cycles"
+            elif (
+                max_instructions[index] is not None
+                and engine.stats.instructions >= max_instructions[index]
+            ):
+                engine.stats.finish_reason = "max_instructions"
+            else:
+                active.append(index)
+
+        start_cycles = {engines[index].cycle for index in active}
+        if len(start_cycles) > 1:
+            raise SimulationError(
+                "lanes of one batch must stand at the same cycle to run in "
+                "lockstep (got cycles %s); reset the lanes before re-running"
+                % sorted(start_cycles)
+            )
+        start_cycle = start_cycles.pop() if start_cycles else engines[0].cycle
+
+        # An instruction budget must be enforced at cycle granularity (the
+        # scalar loop checks it between cycles), so such batches advance
+        # one cycle per dispatch; everything else amortises the per-lane
+        # dispatch over a stride of cycles.
+        stride_cap = (
+            1
+            if any(budget is not None for budget in max_instructions)
+            else self.MAX_STRIDE
+        )
+        stall_limits = [engine.options.stall_limit for engine in engines]
+        # The emitted lane loop maintains per-lane idle counters; polling
+        # them every cycle would re-introduce per-lane-cycle driver work,
+        # so deadlocks are detected on a coarse period instead (within
+        # [stall_limit, stall_limit + period + stride) idle cycles).
+        stall_period = max(1, min(min(stall_limits), 1024))
+        next_stall_check = start_cycle
+        step = self._step
+        cycle = start_cycle
+        next_limit = min((limits[index] for index in active), default=0)
+
+        while active:
+            if done:
+                # Lanes whose pipeline drained after a halt request during
+                # the previous cycle (checked first, like the scalar loop).
+                retired = set(done)
+                for index in done:
+                    engine = engines[index]
+                    engine.stats.finished = True
+                    engine.stats.finish_reason = engine.halt_reason or "halt"
+                del done[:]
+                active = [index for index in active if index not in retired]
+                if not active:
+                    break
+                next_limit = min(limits[index] for index in active)
+            if cycle >= next_limit:
+                survivors = []
+                for index in active:
+                    if cycle >= limits[index]:
+                        engines[index].stats.finish_reason = "max_cycles"
+                    else:
+                        survivors.append(index)
+                active = survivors
+                if not active:
+                    break
+                next_limit = min(limits[index] for index in active)
+            if stride_cap == 1:
+                survivors = []
+                for index in active:
+                    budget = max_instructions[index]
+                    if (
+                        budget is not None
+                        and engines[index].stats.instructions >= budget
+                    ):
+                        engines[index].stats.finish_reason = "max_instructions"
+                    else:
+                        survivors.append(index)
+                if len(survivors) != len(active):
+                    active = survivors
+                    if not active:
+                        break
+                    next_limit = min(limits[index] for index in active)
+            if cycle >= next_stall_check:
+                for index in active:
+                    engine = engines[index]
+                    if engine._idle_cycles >= stall_limits[index]:
+                        raise SimulationError(
+                            "lane %d (%s): no transition fired for %d "
+                            "consecutive cycles at cycle %d; the model is "
+                            "deadlocked"
+                            % (
+                                index,
+                                engine.net.name,
+                                engine._idle_cycles,
+                                engine.cycle,
+                            )
+                        )
+                next_stall_check = cycle + stall_period
+            stride = min(stride_cap, next_limit - cycle)
+            step(cycle, stride, active, done)
+            cycle += stride
+
+        wall = time.perf_counter() - start
+        stepped = [
+            engine.cycle - before
+            for engine, before in zip(engines, initial_cycles)
+        ]
+        total_stepped = sum(stepped)
+        for engine, lane_cycles in zip(engines, stepped):
+            if total_stepped:
+                engine.stats.wall_time_seconds += wall * lane_cycles / total_stepped
+            else:
+                engine.stats.wall_time_seconds += wall / count
+            if engine.options.collect_utilization:
+                engine.stats.stage_occupancy = {
+                    name: (
+                        stage.occupancy_accumulator / engine.cycle
+                        if engine.cycle
+                        else 0.0
+                    )
+                    for name, stage in engine.net.stages.items()
+                }
+        return [engine.stats for engine in engines]

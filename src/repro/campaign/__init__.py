@@ -28,6 +28,7 @@ from repro.campaign.aggregate import (
     result_rows,
     speedup_table,
     summarize,
+    throughput_table,
     to_csv,
     to_json,
 )
@@ -39,6 +40,7 @@ from repro.campaign.planner import (
 from repro.campaign.runner import (
     CampaignReport,
     build_run_processor,
+    execute_batch,
     execute_run,
     run_campaign,
     run_single,
@@ -68,6 +70,7 @@ __all__ = [
     "campaign_processors",
     "cpi_table",
     "engine_variant",
+    "execute_batch",
     "execute_run",
     "group_results",
     "plan_campaign",
@@ -77,6 +80,7 @@ __all__ = [
     "run_single",
     "speedup_table",
     "summarize",
+    "throughput_table",
     "to_csv",
     "to_json",
 ]

@@ -45,7 +45,8 @@ def _grid_arguments(parser):
     parser.add_argument(
         "--engines",
         default="interpreted,compiled",
-        help="comma-separated engine backends (interpreted, compiled, generated)",
+        help="comma-separated engine backends "
+        "(interpreted, compiled, generated, batched)",
     )
     parser.add_argument("--repeats", type=int, default=1, help="runs per grid point")
     parser.add_argument("--max-cycles", type=int, default=None, help="per-run cycle budget")
@@ -173,6 +174,10 @@ def _command_report(args, out):
         if speedups:
             out.write("\nspeedup (%s over interpreted):\n" % against)
             out.write(aggregate.render(speedups) + "\n")
+    throughput = aggregate.throughput_table(results)
+    if throughput:
+        out.write("\nthroughput (batched over generated, rows per host second):\n")
+        out.write(aggregate.render(throughput) + "\n")
     if args.csv:
         count = aggregate.to_csv(results, args.csv)
         out.write("\nwrote %d rows to %s\n" % (count, args.csv))
@@ -191,7 +196,12 @@ def build_parser():
 
     run = commands.add_parser("run", help="plan and execute a campaign")
     _grid_arguments(run)
-    run.add_argument("--store", required=True, help="result-store directory")
+    run.add_argument(
+        "--store",
+        required=True,
+        help="result-store directory (conventionally campaign-store/, which "
+        "is gitignored: stores are host-local caches, not sources)",
+    )
     run.add_argument(
         "--max-workers", type=int, default=None, help="worker processes (1 = in-process)"
     )
@@ -207,11 +217,21 @@ def build_parser():
 
     status = commands.add_parser("status", help="compare a campaign against a store")
     _grid_arguments(status)
-    status.add_argument("--store", required=True, help="result-store directory")
+    status.add_argument(
+        "--store",
+        required=True,
+        help="result-store directory (conventionally campaign-store/, which "
+        "is gitignored: stores are host-local caches, not sources)",
+    )
     status.set_defaults(handler=_command_status)
 
     report = commands.add_parser("report", help="render aggregation tables from a store")
-    report.add_argument("--store", required=True, help="result-store directory")
+    report.add_argument(
+        "--store",
+        required=True,
+        help="result-store directory (conventionally campaign-store/, which "
+        "is gitignored: stores are host-local caches, not sources)",
+    )
     report.add_argument(
         "--group-by",
         default="processor,workload,scale,engine",

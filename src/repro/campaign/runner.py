@@ -16,19 +16,29 @@ the process boundary and any start method works.  The platform default is
 used unless ``mp_context`` overrides it; under a "spawn" start method the
 orchestrating ``__main__`` must be importable (the standard
 multiprocessing guard), which the CLI and pytest entry points are.
+
+Runs whose engine backend is ``"batched"`` are executed lane-batched:
+pending runs that share an emitted module — same processor fingerprint,
+same emit-relevant engine options, same decode-cache knob — are grouped,
+chunked to at most ``options.lanes`` runs, and each chunk advances in
+lockstep as one :class:`repro.batched.LaneBatch`
+(:func:`execute_batch`).  The per-lane :class:`RunResult`s that come out
+are indistinguishable from scalar ones and land in the store under the
+same fingerprints (which deliberately exclude the batch width).
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import sys
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.campaign.planner import plan_campaign
-from repro.campaign.spec import CampaignError, RunSpec
+from repro.campaign.spec import CampaignError, RunSpec, _processor_fingerprint
 from repro.campaign.store import ResultStore, RunResult
 
 
@@ -52,25 +62,9 @@ def build_run_processor(run):
     )
 
 
-def execute_run(run, campaign=""):
-    """Execute one run and return its structured :class:`RunResult`.
-
-    This is the single execution path of the subsystem: the worker pool,
-    the in-process fallback and the benchmark harness all call it, which
-    is what keeps campaign statistics bit-identical to direct
-    ``run_processor`` calls.
-    """
-    from repro.workloads.registry import get_workload
-
-    processor = build_run_processor(run)
-    workload = get_workload(run.workload, scale=run.scale)
-    processor.load_program(workload.program)
-    start = time.perf_counter()
-    stats = processor.run(
-        max_cycles=run.max_cycles, max_instructions=run.max_instructions
-    )
-    wall = time.perf_counter() - start
-
+def _result_for(run, processor, wall, campaign):
+    """Assemble the :class:`RunResult` for one completed run."""
+    stats = processor.stats
     summary = stats.summary()
     summary["retired_by_class"] = dict(stats.retired_by_class)
     return RunResult(
@@ -95,6 +89,81 @@ def execute_run(run, campaign=""):
     )
 
 
+def execute_run(run, campaign=""):
+    """Execute one run and return its structured :class:`RunResult`.
+
+    This is the single execution path of the subsystem: the worker pool,
+    the in-process fallback and the benchmark harness all call it, which
+    is what keeps campaign statistics bit-identical to direct
+    ``run_processor`` calls.  (Batched runs have a second path,
+    :func:`execute_batch`; a batch of one is equivalent to this.)
+    """
+    from repro.workloads.registry import get_workload
+
+    processor = build_run_processor(run)
+    workload = get_workload(run.workload, scale=run.scale)
+    processor.load_program(workload.program)
+    start = time.perf_counter()
+    processor.run(max_cycles=run.max_cycles, max_instructions=run.max_instructions)
+    wall = time.perf_counter() - start
+    return _result_for(run, processor, wall, campaign)
+
+
+def execute_batch(runs, campaign=""):
+    """Execute same-module batched runs in lockstep; returns their results.
+
+    Every run must use the ``"batched"`` backend and share a batch group
+    key (:func:`_batch_key`) — the caller (:func:`run_campaign`) groups and
+    chunks accordingly.  Each run keeps its own processor, workload and
+    budgets; one :class:`~repro.batched.LaneBatch` advances them together.
+    Per-run ``wall_seconds`` is the batch wall time attributed
+    proportionally to the cycles each lane simulated (the same attribution
+    the engine records in ``stats.wall_time_seconds``).
+    """
+    from repro.batched import LaneBatch
+    from repro.workloads.registry import get_workload
+
+    processors = []
+    for run in runs:
+        processor = build_run_processor(run)
+        workload = get_workload(run.workload, scale=run.scale)
+        processor.load_program(workload.program)
+        processors.append(processor)
+    batch = LaneBatch([processor.engine for processor in processors])
+    start = time.perf_counter()
+    batch.run(
+        max_cycles=[run.max_cycles for run in runs],
+        max_instructions=[run.max_instructions for run in runs],
+    )
+    wall = time.perf_counter() - start
+    total_cycles = sum(processor.stats.cycles for processor in processors)
+    results = []
+    for run, processor in zip(runs, processors):
+        share = (
+            wall * processor.stats.cycles / total_cycles
+            if total_cycles
+            else wall / len(runs)
+        )
+        results.append(_result_for(run, processor, share, campaign))
+    return results
+
+
+def _batch_key(run):
+    """Everything two batched runs must agree on to share one lane batch.
+
+    Mirrors the emitted-module identity: the processor (spec fingerprint),
+    the full engine options (including ``lanes`` — it is part of the
+    codegen key even though run fingerprints exclude it) and the
+    decode-cache knob the builder takes.
+    """
+    options = run.engine.resolved_options()
+    return (
+        _processor_fingerprint(run.processor, run.processor_spec),
+        json.dumps(asdict(options), sort_keys=True, default=str),
+        run.engine.use_decode_cache,
+    )
+
+
 @dataclass
 class _RunFailure:
     """A worker-side exception, reduced to picklable data."""
@@ -112,15 +181,26 @@ def _pool_init(sys_path):
 
 
 def _pool_worker(payload):
-    run, campaign = payload
+    """Execute one work unit: a single scalar run or one lane batch.
+
+    Always returns a list — of :class:`RunResult`s on success, of one
+    :class:`_RunFailure` per affected run on error (a failing batch takes
+    all its lanes with it; each lane's row must surface in the report).
+    """
+    runs, campaign = payload
     try:
-        return execute_run(run, campaign=campaign)
+        if runs[0].engine.backend == "batched":
+            return execute_batch(runs, campaign=campaign)
+        return [execute_run(run, campaign=campaign) for run in runs]
     except Exception as error:  # surfaced collectively by run_campaign
-        return _RunFailure(
-            run_id=run.run_id,
-            error="%s: %s" % (type(error).__name__, error),
-            details=traceback.format_exc(),
-        )
+        return [
+            _RunFailure(
+                run_id=run.run_id,
+                error="%s: %s" % (type(error).__name__, error),
+                details=traceback.format_exc(),
+            )
+            for run in runs
+        ]
 
 
 @dataclass
@@ -170,7 +250,8 @@ def run_campaign(
     a purely in-memory campaign.  Runs whose fingerprint the store already
     holds are served from it without simulating; everything else executes
     on a pool of ``max_workers`` processes (default: one per host CPU,
-    capped by the number of pending runs; ``1`` stays in-process).
+    capped by the number of work units — a unit is one scalar run or one
+    lane batch of ``"batched"`` runs; ``1`` stays in-process).
     ``progress``, when given, is called as ``progress(result)`` after each
     run completes or is served from the store.
     """
@@ -194,13 +275,29 @@ def run_campaign(
         else:
             pending.append((fingerprint, run))
 
-    if max_workers is None:
-        max_workers = min(len(pending), os.cpu_count() or 1) or 1
+    # One work unit per scalar run; batched runs that share an emitted
+    # module are grouped and chunked to the batch width, so a unit is a
+    # whole lane batch.  Unit order preserves plan order within each kind.
+    units = []
+    batch_groups = {}
+    for fingerprint, run in pending:
+        if run.engine.backend != "batched":
+            units.append((run,))
+            continue
+        batch_groups.setdefault(_batch_key(run), []).append(run)
+    for runs in batch_groups.values():
+        width = max(1, runs[0].engine.resolved_options().lanes)
+        for index in range(0, len(runs), width):
+            units.append(tuple(runs[index : index + width]))
 
-    def record(fingerprint, result):
+    if max_workers is None:
+        max_workers = min(len(units), os.cpu_count() or 1) or 1
+    fingerprint_of = {run.run_id: fp for fp, run in pending}
+
+    def record(result):
         if isinstance(result, _RunFailure):
             return result
-        by_fingerprint[fingerprint] = result
+        by_fingerprint[fingerprint_of[result.run_id]] = result
         if store is not None:
             store.append(result)
         if progress is not None:
@@ -208,30 +305,26 @@ def run_campaign(
         return None
 
     failures = []
-    if pending:
-        if max_workers <= 1 or len(pending) == 1:
-            for fingerprint, run in pending:
-                failure = record(fingerprint, _pool_worker((run, spec.name)))
-                if failure is not None:
-                    failures.append(failure)
+    if units:
+        if max_workers <= 1 or len(units) == 1:
+            for runs in units:
+                for result in _pool_worker((runs, spec.name)):
+                    failure = record(result)
+                    if failure is not None:
+                        failures.append(failure)
         else:
             context = multiprocessing.get_context(mp_context)
-            payloads = [(run, spec.name) for _, run in pending]
-            fingerprint_of = {run.run_id: fp for fp, run in pending}
+            payloads = [(runs, spec.name) for runs in units]
             with context.Pool(
                 processes=max_workers,
                 initializer=_pool_init,
                 initargs=(list(sys.path),),
             ) as pool:
-                for result in pool.imap_unordered(_pool_worker, payloads):
-                    key = (
-                        result.run_id
-                        if isinstance(result, (RunResult, _RunFailure))
-                        else None
-                    )
-                    failure = record(fingerprint_of.get(key), result)
-                    if failure is not None:
-                        failures.append(failure)
+                for results_list in pool.imap_unordered(_pool_worker, payloads):
+                    for result in results_list:
+                        failure = record(result)
+                        if failure is not None:
+                            failures.append(failure)
 
     if failures:
         lines = ["campaign %r: %d run(s) failed" % (spec.name, len(failures))]

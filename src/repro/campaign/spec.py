@@ -43,7 +43,7 @@ class EngineVariant:
     full :class:`~repro.core.engine.EngineOptions` (``None`` means the
     defaults) and ``use_decode_cache`` is the builder-level decode-cache
     knob the Section 4 ablation sweeps.  The plain backend strings
-    (``"interpreted"``/``"compiled"``/``"generated"``, see
+    (``"interpreted"``/``"compiled"``/``"generated"``/``"batched"``, see
     :data:`~repro.core.engine.ENGINE_BACKENDS`) are accepted anywhere a
     variant is and normalise to a variant of that backend with default
     options.
@@ -66,9 +66,15 @@ class EngineVariant:
 
         The label is deliberately excluded: renaming a variant must not
         invalidate stored results whose simulated behaviour is unchanged.
+        So is ``options.lanes``: the batch width decides how many lockstep
+        lanes share one host dispatch (an execution detail, like
+        ``max_workers``), never the per-lane statistics, and widening a
+        batched campaign must keep yesterday's store fully cached.
         """
+        options = asdict(self.options or EngineOptions())
+        options.pop("lanes", None)
         return {
-            "options": asdict(self.options or EngineOptions()),
+            "options": options,
             "use_decode_cache": self.use_decode_cache,
         }
 
@@ -81,9 +87,13 @@ def engine_variant(value):
         return EngineVariant(label=value.backend, options=value)
     if isinstance(value, str):
         if value not in ENGINE_BACKENDS:
+            import difflib
+
+            close = difflib.get_close_matches(value, ENGINE_BACKENDS, n=1)
+            hint = "; did you mean %r?" % close[0] if close else ""
             raise CampaignError(
-                "unknown engine backend %r; expected one of %s or an EngineVariant"
-                % (value, ", ".join(ENGINE_BACKENDS))
+                "unknown engine backend %r; expected one of %s or an "
+                "EngineVariant%s" % (value, ", ".join(ENGINE_BACKENDS), hint)
             )
         return EngineVariant(label=value, options=EngineOptions(backend=value))
     raise CampaignError("bad engine-axis entry %r" % (value,))

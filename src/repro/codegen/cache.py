@@ -7,7 +7,8 @@ code depends only on
 * the spec fingerprint (``net.spec_fingerprint``, the PR 2-5 content-hash
   plumbing that already keys the schedule and plan caches),
 * the emit-relevant engine options (``use_sorted_transitions``,
-  ``two_list_everywhere``, ``collect_utilization`` — run-length knobs like
+  ``two_list_everywhere``, ``collect_utilization``, plus the emission mode
+  and ``lanes`` for batched modules — run-length knobs like
   ``max_cycles``/``stall_limit`` are deliberately excluded),
 * ``repro.__version__`` and the emitter's own
   :data:`~repro.codegen.emit.CODEGEN_SOURCE_VERSION`.
@@ -50,22 +51,27 @@ def codegen_key(fingerprint, options):
 
     Only the options that change the emitted *source* participate; the
     repro version and the emitter version are folded in so upgrading
-    either invalidates every stale entry.
+    either invalidates every stale entry.  The batched backend emits a
+    different module shape (``make_step_batched`` with a lane loop sized
+    by ``lanes``), so its mode and lane count join the key — scalar and
+    batched modules never alias, and changing the batch width misses the
+    old entry.
     """
     import repro
     from repro.codegen.emit import CODEGEN_SOURCE_VERSION
 
-    payload = "|".join(
-        (
-            "repro.codegen",
-            str(CODEGEN_SOURCE_VERSION),
-            repro.__version__,
-            fingerprint,
-            "sorted=%r" % options.use_sorted_transitions,
-            "twolist=%r" % options.two_list_everywhere,
-            "util=%r" % options.collect_utilization,
-        )
-    )
+    parts = [
+        "repro.codegen",
+        str(CODEGEN_SOURCE_VERSION),
+        repro.__version__,
+        fingerprint,
+        "sorted=%r" % options.use_sorted_transitions,
+        "twolist=%r" % options.two_list_everywhere,
+        "util=%r" % options.collect_utilization,
+    ]
+    if options.backend == "batched":
+        parts.append("batched|lanes=%d" % options.lanes)
+    payload = "|".join(parts)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:40]
 
 
@@ -193,7 +199,11 @@ class ModuleCache:
             return None
         if getattr(module, "CODEGEN_KEY", None) != key:
             return None
-        if not callable(getattr(module, "make_step", None)):
+        # Scalar modules export make_step, batched ones make_step_batched;
+        # a cached file with neither is not one of ours.
+        if not callable(getattr(module, "make_step", None)) and not callable(
+            getattr(module, "make_step_batched", None)
+        ):
             return None
         return module
 

@@ -19,7 +19,7 @@ from repro.core.token import ReservationToken
 
 
 #: Valid values of :attr:`EngineOptions.backend`.
-ENGINE_BACKENDS = ("interpreted", "compiled", "generated")
+ENGINE_BACKENDS = ("interpreted", "compiled", "generated", "batched")
 
 
 @dataclass
@@ -41,6 +41,13 @@ class EngineOptions:
       with dispatch tables and capacity checks inlined as code), ``exec``s
       it and disk-caches the source under the spec fingerprint.  Same
       bit-identical statistics contract as the compiled backend.
+    * ``"batched"`` — :class:`repro.batched.LaneEngine` runs the same
+      emitted source, but the emitter wraps the straight-line step body in
+      a *lane loop* (``make_step_batched``), so up to ``lanes``
+      same-fingerprint simulations advance in lockstep per host dispatch.
+      Each lane keeps private places/statistics/workload; lanes that halt
+      early are masked out until the batch drains.  Statistics stay
+      bit-identical per lane; only host throughput changes.
 
     Which knobs apply to which backend:
 
@@ -60,6 +67,14 @@ class EngineOptions:
     per-stage occupancy each cycle (costs time, off by default);
     ``stall_limit`` aborts runs in which nothing fires for that many
     consecutive cycles (a modeling bug, reported as a deadlock).
+
+    ``lanes`` applies to the batched backend only: the maximum number of
+    same-fingerprint simulations one batch steps in lockstep (campaign
+    runners chunk larger groups into batches of at most ``lanes``).  It is
+    a host-scheduling knob, not a simulation parameter — it participates in
+    the codegen cache key (the emitted lane loop depends on it) but is
+    deliberately excluded from campaign run fingerprints, so re-running a
+    stored campaign at a different batch width stays 100% cached.
     """
 
     max_cycles: int = 10_000_000
@@ -68,6 +83,7 @@ class EngineOptions:
     collect_utilization: bool = False
     stall_limit: int = 100_000
     backend: str = "interpreted"
+    lanes: int = 8
 
 
 class EngineContext:

@@ -17,7 +17,12 @@ returns a ready-to-run engine for the backend selected in
 * ``backend="generated"`` — the structures are emitted as Python *source*
   by :mod:`repro.codegen`, ``exec``'d into a module (disk-cached under the
   spec fingerprint) and executed by
-  :class:`~repro.codegen.GeneratedEngine`.
+  :class:`~repro.codegen.GeneratedEngine`;
+* ``backend="batched"`` — the same source-level emission, but with the
+  step body wrapped in a lane loop so up to ``options.lanes``
+  same-fingerprint simulations advance per host dispatch
+  (:class:`~repro.batched.LaneEngine`, driven in lockstep by
+  :class:`~repro.batched.LaneBatch`).
 
 :class:`GenerationReport` exposes the derived structures so tests and
 benchmarks can inspect them; for the compiled and generated backends it
@@ -96,6 +101,11 @@ def generate_simulator(net, options=None):
         from repro.codegen import GeneratedEngine
 
         engine = GeneratedEngine(net, options=options)
+    elif options.backend == "batched":
+        # Imported lazily: repro.batched builds on repro.codegen.
+        from repro.batched import LaneEngine
+
+        engine = LaneEngine(net, options=options)
     else:
         engine = SimulationEngine(net, options=options)
     schedule = engine.schedule
@@ -113,7 +123,7 @@ def generate_simulator(net, options=None):
         generator_transitions=[t.name for t in schedule.generator_transitions],
         compilation=(
             engine.compilation_summary()
-            if options.backend in ("compiled", "generated")
+            if options.backend in ("compiled", "generated", "batched")
             else None
         ),
         spec_fingerprint=fingerprint,

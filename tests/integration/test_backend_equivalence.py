@@ -1,4 +1,4 @@
-"""Three-way backend equivalence matrix: interpreted / compiled / generated.
+"""Backend equivalence matrix: interpreted / compiled / generated / batched.
 
 Every engine backend is contractually bit-identical in every statistic
 the simulator exposes.  This matrix enforces the contract for **every
@@ -61,7 +61,7 @@ def observable_state(processor, stats):
 
 def test_backend_matrix_covers_all_registered_backends():
     """The matrix below must not silently fall behind the engine registry."""
-    assert set(ENGINE_BACKENDS) == {"interpreted", "compiled", "generated"}
+    assert set(ENGINE_BACKENDS) == {"interpreted", "compiled", "generated", "batched"}
 
 
 @pytest.mark.parametrize("model,kernel", MODEL_KERNEL_PAIRS)

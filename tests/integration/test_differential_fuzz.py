@@ -10,8 +10,8 @@ is checked two ways:
   registers, the condition flags and the syscall output must match a
   functional (instruction-set) simulation of the same binary; timing
   models may reorder completion, never results;
-* **backend** — the interpreted, compiled and generated engines must
-  produce bit-identical statistics (cycles, stalls, squashes,
+* **backend** — the interpreted, compiled, generated and batched engines
+  must produce bit-identical statistics (cycles, stalls, squashes,
   per-transition firing counts), the same contract
   ``test_backend_equivalence.py`` enforces on the paper kernels.
 
@@ -172,3 +172,5 @@ def test_fuzzed_model_matches_functional_and_backends_agree(name, model):
     assert observable_state(compiled, cstats) == reference
     generated, gstats = run_model(model, name, "generated")
     assert observable_state(generated, gstats) == reference
+    batched, bstats = run_model(model, name, "batched")
+    assert observable_state(batched, bstats) == reference

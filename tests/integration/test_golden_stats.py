@@ -87,7 +87,7 @@ GOLDEN = {
 }
 
 
-@pytest.mark.parametrize("backend", ["interpreted", "generated"])
+@pytest.mark.parametrize("backend", ["interpreted", "generated", "batched"])
 @pytest.mark.parametrize("model,kernel", sorted(GOLDEN))
 def test_golden_statistics_are_unchanged(model, kernel, backend):
     expected_cycles, expected_instructions, expected_stalls, expected_r0 = GOLDEN[

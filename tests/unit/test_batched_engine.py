@@ -1,0 +1,239 @@
+"""Lane mechanics of the batched backend (:mod:`repro.batched`).
+
+The backend-equivalence matrix already proves a batch of one is
+bit-identical to the scalar backends on every registered model; this file
+covers what only multi-lane execution can show: uneven batches draining
+lane by lane, per-lane workload and budget isolation, batch validation,
+and how a lane behaves outside its batch.
+"""
+
+import pytest
+
+from repro.batched import LaneBatch, LaneEngine
+from repro.core import EngineOptions, SimulationError, generate_simulator
+from repro.processors import build_processor
+from repro.workloads import SyntheticWorkloadGenerator, get_workload
+
+
+def observable(processor):
+    """Everything batching may not change about one simulation."""
+    stats = processor.stats
+    return {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "stalls": stats.stalls,
+        "squashed": stats.squashed,
+        "finished": stats.finished,
+        "finish_reason": stats.finish_reason,
+        "transition_firings": dict(stats.transition_firings),
+        "retired_by_class": dict(stats.retired_by_class),
+        "registers": [processor.register(index) for index in range(16)],
+        "memory": processor.memory.statistics_summary(),
+    }
+
+
+def lane(model="strongarm", kernel="crc", scale=1, program=None, **options):
+    processor = build_processor(
+        model, engine_options=EngineOptions(backend="batched", **options)
+    )
+    if program is None:
+        program = get_workload(kernel, scale=scale).program
+    processor.load_program(program)
+    return processor
+
+
+def solo(model="strongarm", kernel="crc", scale=1, program=None):
+    processor = build_processor(model, backend="generated")
+    if program is None:
+        program = get_workload(kernel, scale=scale).program
+    processor.load_program(program)
+    return processor
+
+
+# -- lockstep equivalence ---------------------------------------------------
+
+
+def test_single_lane_run_matches_scalar_generated():
+    """A batch of one is the scalar generated simulation, bit for bit."""
+    batched = lane()
+    reference = solo()
+    batched.run()
+    reference.run()
+    assert observable(batched) == observable(reference)
+
+
+def test_uneven_batch_lanes_match_their_solo_runs():
+    """Early-finishing lanes drain out without perturbing the survivors."""
+    scales = (1, 2, 3)
+    lanes = [lane(scale=scale) for scale in scales]
+    LaneBatch([processor.engine for processor in lanes]).run()
+    for scale, processor in zip(scales, lanes):
+        reference = solo(scale=scale)
+        reference.run()
+        assert observable(processor) == observable(reference), scale
+
+
+def test_lanes_keep_isolated_workloads_and_seeds():
+    """Same model, different seeded programs: no cross-lane bleed."""
+    programs = [
+        SyntheticWorkloadGenerator(body_length=16, iterations=8, seed=seed).program()
+        for seed in (11, 22, 33)
+    ]
+    lanes = [lane(program=program) for program in programs]
+    LaneBatch([processor.engine for processor in lanes]).run()
+    for program, processor in zip(programs, lanes):
+        reference = solo(program=program)
+        reference.run()
+        assert observable(processor) == observable(reference)
+
+
+# -- per-lane budgets -------------------------------------------------------
+
+
+def test_per_lane_cycle_budgets_are_independent():
+    lanes = [lane(), lane()]
+    LaneBatch([processor.engine for processor in lanes]).run(
+        max_cycles=[500, None]
+    )
+    capped, free = lanes
+    assert capped.stats.cycles == 500
+    assert capped.stats.finish_reason == "max_cycles"
+    assert not capped.stats.finished
+    reference = solo()
+    reference.run()
+    assert observable(free) == observable(reference)
+
+
+def test_per_lane_instruction_budgets_match_scalar_precedence():
+    batched = lane()
+    reference = solo()
+    LaneBatch([batched.engine]).run(max_instructions=[300])
+    reference.run(max_instructions=300)
+    assert observable(batched) == observable(reference)
+    assert batched.stats.finish_reason == "max_instructions"
+
+
+def test_scalar_budget_value_applies_to_every_lane():
+    lanes = [lane(), lane(scale=2)]
+    LaneBatch([processor.engine for processor in lanes]).run(max_cycles=400)
+    assert [processor.stats.cycles for processor in lanes] == [400, 400]
+
+
+# -- batch construction and validation --------------------------------------
+
+
+def test_batch_rejects_non_lane_engines():
+    scalar = solo()
+    with pytest.raises(TypeError, match="LaneEngine"):
+        LaneBatch([scalar.engine])
+
+
+def test_batch_rejects_an_empty_lane_list():
+    with pytest.raises(ValueError, match="at least one lane"):
+        LaneBatch([])
+
+
+def test_batch_rejects_lanes_from_different_models():
+    mixed = [lane("strongarm"), lane("xscale")]
+    with pytest.raises(ValueError, match="share an emitted module"):
+        LaneBatch([processor.engine for processor in mixed])
+
+
+def test_batch_rejects_more_lanes_than_the_module_budget():
+    lanes = [lane(lanes=2) for _ in range(3)]
+    with pytest.raises(ValueError, match="lane budget of 2"):
+        LaneBatch([processor.engine for processor in lanes])
+
+
+def test_budget_list_length_must_match_the_lane_count():
+    batch = LaneBatch([lane().engine])
+    with pytest.raises(ValueError, match="2 entries for 1 lanes"):
+        batch.run(max_cycles=[100, 200])
+
+
+def test_misaligned_lanes_refuse_to_run_in_lockstep():
+    ahead, fresh = lane(), lane()
+    ahead.run(max_cycles=100)
+    with pytest.raises(SimulationError, match="same cycle"):
+        LaneBatch([ahead.engine, fresh.engine]).run()
+
+
+def test_lane_cannot_be_stepped_outside_its_batch():
+    with pytest.raises(SimulationError, match="LaneBatch"):
+        lane().engine.step()
+
+
+# -- lifecycle --------------------------------------------------------------
+
+
+def test_finished_batch_reruns_as_a_no_op():
+    batch = LaneBatch([lane().engine])
+    (stats,) = batch.run()
+    cycles = stats.cycles
+    (again,) = batch.run()
+    assert again.cycles == cycles
+    assert again.finished and again.finish_reason == "halt"
+
+
+def test_reset_lanes_rerun_bit_identically():
+    processor = lane()
+    batch = LaneBatch([processor.engine])
+    batch.run()
+    first = observable(processor)
+    wall = processor.stats.wall_time_seconds
+    assert wall > 0.0
+    processor.reset()
+    processor.load_program(get_workload("crc", scale=1).program)
+    batch.run()
+    assert observable(processor) == first
+
+
+def test_hand_built_net_without_fingerprint_is_emitted_fresh():
+    """Nets outside the registry (no spec fingerprint) skip the disk cache."""
+    from repro.core import InstructionToken, OperationClass, RCPN
+
+    def build():
+        net = RCPN("toy")
+        net.add_stage("A", capacity=1, delay=1)
+        net.add_operation_class(OperationClass("op", symbols={}))
+        gen = net.add_subnet("gen")
+        sub = net.add_subnet("op", opclasses=("op",))
+        place_a = net.add_place("A", sub, entry=True)
+        place_end = net.add_place("end", sub)
+        state = {"emitted": 0}
+
+        def fetch_guard(_t, _ctx):
+            return state["emitted"] < 3
+
+        def fetch_action(_t, ctx):
+            state["emitted"] += 1
+            ctx.emit(InstructionToken(instr=state["emitted"], opclass="op"))
+            if state["emitted"] >= 3:
+                ctx.stop("done")
+
+        net.add_transition("fetch", gen, guard=fetch_guard, action=fetch_action,
+                           capacity_stages=["A"])
+        net.add_transition("drain", sub, source=place_a, target=place_end)
+        return net
+
+    interpreted, _ = generate_simulator(build(), EngineOptions(backend="interpreted"))
+    batched, _ = generate_simulator(build(), EngineOptions(backend="batched"))
+    assert isinstance(batched, LaneEngine)
+    assert batched.codegen_status == "uncached"
+    reference = interpreted.run()
+    stats = batched.run()
+    assert (stats.cycles, stats.finish_reason, dict(stats.transition_firings)) == (
+        reference.cycles,
+        reference.finish_reason,
+        dict(reference.transition_firings),
+    )
+
+
+def test_batch_wall_time_is_attributed_across_lanes():
+    lanes = [lane(), lane(scale=2)]
+    batch = LaneBatch([processor.engine for processor in lanes])
+    batch.run()
+    walls = [processor.stats.wall_time_seconds for processor in lanes]
+    assert all(wall > 0.0 for wall in walls)
+    # Attribution is proportional to cycles: the longer lane gets more.
+    assert walls[1] > walls[0]
