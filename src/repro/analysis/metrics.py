@@ -118,9 +118,13 @@ def run_processor(builder, workload, label=None, max_cycles=None, backend=None, 
 
 
 def speedup(result, baseline):
-    """Throughput ratio (cycles per host second) of ``result`` over ``baseline``."""
+    """Throughput ratio (cycles per host second) of ``result`` over ``baseline``.
+
+    A baseline with no measurable throughput (zero or sub-tick wall time)
+    yields 0.0, not inf: downstream tables and JSON exports stay finite.
+    """
     if baseline.cycles_per_second == 0:
-        return float("inf")
+        return 0.0
     return result.cycles_per_second / baseline.cycles_per_second
 
 

@@ -182,7 +182,7 @@ def speedup_table(results, baseline="interpreted", against="compiled"):
                 "speedup": (
                     fast.cycles_per_second / base.cycles_per_second
                     if base.cycles_per_second
-                    else float("inf")
+                    else 0.0
                 ),
             }
         )
@@ -226,8 +226,11 @@ def throughput_table(results, baseline="generated", against="batched"):
                     sorted(cycles[against]),
                 )
             )
-        base_rps = counts[baseline] / walls[baseline] if walls[baseline] else float("inf")
-        fast_rps = counts[against] / walls[against] if walls[against] else float("inf")
+        # Sub-tick wall times (coarse clocks, mocked results) degrade to a
+        # throughput of 0.0 rather than inf so reports and JSON exports
+        # stay finite.
+        base_rps = counts[baseline] / walls[baseline] if walls[baseline] > 0 else 0.0
+        fast_rps = counts[against] / walls[against] if walls[against] > 0 else 0.0
         rows.append(
             {
                 "processor": processor,
@@ -236,7 +239,7 @@ def throughput_table(results, baseline="generated", against="batched"):
                 "%s_rows_per_sec" % baseline: base_rps,
                 "%s_rows_per_sec" % against: fast_rps,
                 "throughput_ratio": (
-                    fast_rps / base_rps if base_rps else float("inf")
+                    fast_rps / base_rps if base_rps else 0.0
                 ),
             }
         )

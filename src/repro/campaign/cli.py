@@ -16,9 +16,10 @@ import sys
 
 from repro.campaign import aggregate
 from repro.campaign.planner import plan_campaign
-from repro.campaign.runner import run_campaign
+from repro.campaign.runner import metrics_path, run_campaign
 from repro.campaign.spec import ALL, CampaignError, CampaignSpec
 from repro.campaign.store import ResultStore
+from repro.observe.metrics import read_metrics_json, render_metrics, snapshot_value, write_metrics_json
 
 
 def _split(value):
@@ -112,6 +113,11 @@ def _print_summary(out, report):
     )
     if report.store_path:
         out.write("store: %s\n" % report.store_path)
+    out.write(
+        "store cache: %d hit(s), %d miss(es), %.2fs of simulation wall time "
+        "served from the store\n"
+        % (report.cached, report.executed, report.saved_wall_seconds)
+    )
 
 
 def _command_run(args, out):
@@ -178,6 +184,24 @@ def _command_report(args, out):
     if throughput:
         out.write("\nthroughput (batched over generated, rows per host second):\n")
         out.write(aggregate.render(throughput) + "\n")
+    metrics = read_metrics_json(metrics_path(store))
+    if metrics:
+        hits = int(snapshot_value(metrics, "campaign.store.hits", 0))
+        misses = int(snapshot_value(metrics, "campaign.store.misses", 0))
+        saved = snapshot_value(metrics, "campaign.store.saved_wall_seconds", 0.0)
+        out.write(
+            "\nstore cache (cumulative): %d hit(s), %d miss(es), "
+            "%.2fs of simulation wall time served from the store\n" % (hits, misses, saved)
+        )
+    if args.metrics:
+        if metrics:
+            out.write("\ncampaign metrics (last run; store counters cumulative):\n")
+            out.write(render_metrics(metrics) + "\n")
+        else:
+            out.write("\nstore %s holds no metrics.json yet (run a campaign first)\n" % store.path)
+    if args.metrics_json:
+        write_metrics_json(args.metrics_json, metrics or {})
+        out.write("\nwrote %d metric(s) to %s\n" % (len(metrics or {}), args.metrics_json))
     if args.csv:
         count = aggregate.to_csv(results, args.csv)
         out.write("\nwrote %d rows to %s\n" % (count, args.csv))
@@ -239,6 +263,17 @@ def build_parser():
     )
     report.add_argument("--csv", default=None, help="export flat rows as CSV")
     report.add_argument("--json", default=None, help="export full records as JSON")
+    report.add_argument(
+        "--metrics",
+        action="store_true",
+        help="render the campaign metrics table (phase timings, cache "
+        "counters, worker utilisation) from the store's metrics.json",
+    )
+    report.add_argument(
+        "--metrics-json",
+        default=None,
+        help="export the store's metrics snapshot as JSON",
+    )
     report.set_defaults(handler=_command_report)
     return parser
 

@@ -40,6 +40,22 @@ from dataclasses import asdict, dataclass
 from repro.campaign.planner import plan_campaign
 from repro.campaign.spec import CampaignError, RunSpec, _processor_fingerprint
 from repro.campaign.store import ResultStore, RunResult
+from repro.observe.metrics import (
+    MetricsRegistry,
+    merge_cumulative,
+    read_metrics_json,
+    write_metrics_json,
+)
+
+#: Store-level counters kept *cumulative* across campaign invocations when
+#: ``metrics.json`` is rewritten next to the result store.
+CUMULATIVE_STORE_METRICS = (
+    "campaign.store.hits",
+    "campaign.store.misses",
+    "campaign.store.saved_wall_seconds",
+)
+
+METRICS_FILENAME = "metrics.json"
 
 
 def build_run_processor(run):
@@ -214,10 +230,18 @@ class CampaignReport:
     cached: int = 0
     wall_seconds: float = 0.0
     store_path: str = None
+    #: :meth:`repro.observe.metrics.MetricsRegistry.snapshot` of this
+    #: invocation (phase timings, store hit rates, worker utilisation).
+    metrics: dict = None
 
     @property
     def skipped(self):
         return self.plan.skipped
+
+    @property
+    def saved_wall_seconds(self):
+        """Host wall-time the store's cache hits saved this invocation."""
+        return sum(result.wall_seconds for result in self.results if result.cached)
 
     def summary(self):
         return {
@@ -243,6 +267,7 @@ def run_campaign(
     max_workers=None,
     mp_context=None,
     progress=None,
+    metrics=None,
 ):
     """Plan and execute ``spec``, returning a :class:`CampaignReport`.
 
@@ -254,11 +279,37 @@ def run_campaign(
     lane batch of ``"batched"`` runs; ``1`` stays in-process).
     ``progress``, when given, is called as ``progress(result)`` after each
     run completes or is served from the store.
+
+    ``metrics`` is an optional
+    :class:`~repro.observe.metrics.MetricsRegistry` to record into (one is
+    created otherwise); the snapshot lands on ``CampaignReport.metrics``
+    and — when a store is used — is persisted as ``metrics.json`` next to
+    the store's results file, with the store-level hit/miss/saved counters
+    kept cumulative across invocations.
     """
+    registry = metrics if metrics is not None else MetricsRegistry()
     start = time.perf_counter()
-    plan = plan_campaign(spec)
+    with registry.timer("campaign.phase.plan_seconds", "wall time spent planning"):
+        plan = plan_campaign(spec)
     store = _coerce_store(store)
-    stored = store.load() if store is not None else {}
+    with registry.timer(
+        "campaign.phase.store_load_seconds", "wall time loading the result store"
+    ):
+        stored = store.load() if store is not None else {}
+
+    store_hits = registry.counter(
+        "campaign.store.hits", "runs served from the result store"
+    )
+    store_misses = registry.counter(
+        "campaign.store.misses", "planned runs the store did not hold"
+    )
+    saved_wall = registry.counter(
+        "campaign.store.saved_wall_seconds",
+        "host wall-time of the stored runs served instead of re-executed",
+    )
+    run_wall = registry.histogram(
+        "campaign.run.wall_seconds", "per-run host wall-time of executed runs"
+    )
 
     pending = []
     by_fingerprint = {}
@@ -270,9 +321,12 @@ def run_campaign(
             hit.cached = True
             by_fingerprint[fingerprint] = hit
             cached += 1
+            store_hits.inc()
+            saved_wall.inc(max(hit.wall_seconds, 0.0))
             if progress is not None:
                 progress(hit)
         else:
+            store_misses.inc()
             pending.append((fingerprint, run))
 
     # One work unit per scalar run; batched runs that share an emitted
@@ -288,16 +342,26 @@ def run_campaign(
     for runs in batch_groups.values():
         width = max(1, runs[0].engine.resolved_options().lanes)
         for index in range(0, len(runs), width):
-            units.append(tuple(runs[index : index + width]))
+            chunk = tuple(runs[index : index + width])
+            units.append(chunk)
+            registry.histogram(
+                "campaign.batch.width", "lanes per batched work unit"
+            ).observe(len(chunk))
 
     if max_workers is None:
         max_workers = min(len(units), os.cpu_count() or 1) or 1
+    registry.gauge("campaign.units", "work units this invocation").set(len(units))
+    registry.gauge("campaign.workers.max", "worker-pool size").set(max_workers)
     fingerprint_of = {run.run_id: fp for fp, run in pending}
+    worker_runs = {}
 
     def record(result):
         if isinstance(result, _RunFailure):
             return result
         by_fingerprint[fingerprint_of[result.run_id]] = result
+        run_wall.observe(result.wall_seconds)
+        worker_runs[result.worker_pid] = worker_runs.get(result.worker_pid, 0) + 1
+        _record_generation_metrics(registry, result.generation)
         if store is not None:
             store.append(result)
         if progress is not None:
@@ -305,26 +369,39 @@ def run_campaign(
         return None
 
     failures = []
-    if units:
-        if max_workers <= 1 or len(units) == 1:
-            for runs in units:
-                for result in _pool_worker((runs, spec.name)):
-                    failure = record(result)
-                    if failure is not None:
-                        failures.append(failure)
-        else:
-            context = multiprocessing.get_context(mp_context)
-            payloads = [(runs, spec.name) for runs in units]
-            with context.Pool(
-                processes=max_workers,
-                initializer=_pool_init,
-                initargs=(list(sys.path),),
-            ) as pool:
-                for results_list in pool.imap_unordered(_pool_worker, payloads):
-                    for result in results_list:
+    with registry.timer(
+        "campaign.phase.execute_seconds", "wall time executing pending runs"
+    ):
+        if units:
+            if max_workers <= 1 or len(units) == 1:
+                for runs in units:
+                    for result in _pool_worker((runs, spec.name)):
                         failure = record(result)
                         if failure is not None:
                             failures.append(failure)
+            else:
+                context = multiprocessing.get_context(mp_context)
+                payloads = [(runs, spec.name) for runs in units]
+                with context.Pool(
+                    processes=max_workers,
+                    initializer=_pool_init,
+                    initargs=(list(sys.path),),
+                ) as pool:
+                    for results_list in pool.imap_unordered(_pool_worker, payloads):
+                        for result in results_list:
+                            failure = record(result)
+                            if failure is not None:
+                                failures.append(failure)
+
+    if worker_runs:
+        utilisation = registry.histogram(
+            "campaign.worker.runs", "executed runs per worker process"
+        )
+        for count in worker_runs.values():
+            utilisation.observe(count)
+        registry.gauge(
+            "campaign.workers.used", "distinct worker processes that returned results"
+        ).set(len(worker_runs))
 
     if failures:
         lines = ["campaign %r: %d run(s) failed" % (spec.name, len(failures))]
@@ -334,15 +411,65 @@ def run_campaign(
         raise CampaignError("\n".join(lines))
 
     results = tuple(by_fingerprint[run.fingerprint()] for run in plan.runs)
+    wall = time.perf_counter() - start
+    registry.gauge("campaign.wall_seconds", "total campaign wall time").set(wall)
+    snapshot = registry.snapshot()
+    if store is not None:
+        _persist_metrics(store, snapshot)
     return CampaignReport(
         spec=spec,
         plan=plan,
         results=results,
         executed=len(pending),
         cached=cached,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=wall,
         store_path=store.path if store is not None else None,
+        metrics=snapshot,
     )
+
+
+def _record_generation_metrics(registry, generation):
+    """Fold one result's generation report into cache-status counters."""
+    if not isinstance(generation, dict):
+        return
+    status = generation.get("schedule_cache")
+    if status:
+        registry.counter(
+            "campaign.schedule_cache.%s" % status, "runs with this schedule-cache status"
+        ).inc()
+    compilation = generation.get("compilation")
+    if isinstance(compilation, dict):
+        for kind in ("codegen_cache", "plan_cache"):
+            status = compilation.get(kind)
+            if status:
+                registry.counter(
+                    "campaign.%s.%s" % (kind, status),
+                    "runs with this %s status" % kind.replace("_", "-"),
+                ).inc()
+
+
+def metrics_path(store):
+    """Where a store's campaign metrics snapshot lives on disk."""
+    return os.path.join(store.path, METRICS_FILENAME)
+
+
+def _persist_metrics(store, snapshot):
+    """Write ``metrics.json`` next to the store's results file.
+
+    Per-invocation metrics (phase timings, worker utilisation) are simply
+    overwritten; the store-level hit/miss/saved counters are merged with
+    the previous snapshot so ``report`` can show lifetime cache value.
+    Best-effort: an unwritable store directory loses the snapshot, never
+    the campaign.
+    """
+    merged = {name: dict(entry) for name, entry in snapshot.items()}
+    previous = read_metrics_json(metrics_path(store))
+    merge_cumulative(merged, previous, CUMULATIVE_STORE_METRICS)
+    try:
+        os.makedirs(store.path, exist_ok=True)
+        write_metrics_json(metrics_path(store), merged)
+    except OSError:
+        pass
 
 
 def run_single(

@@ -70,9 +70,14 @@ class EngineVariant:
         lanes share one host dispatch (an execution detail, like
         ``max_workers``), never the per-lane statistics, and widening a
         batched campaign must keep yesterday's store fully cached.
+        ``options.trace`` is excluded for the same reason: tracing observes
+        a run without perturbing its statistics (the trace-equivalence
+        suite pins this), so a traced re-run of a stored campaign stays
+        fully cached.
         """
         options = asdict(self.options or EngineOptions())
         options.pop("lanes", None)
+        options.pop("trace", None)
         return {
             "options": options,
             "use_decode_cache": self.use_decode_cache,

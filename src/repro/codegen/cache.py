@@ -46,6 +46,26 @@ def default_cache_dir():
     return os.path.join(base, "repro", "codegen")
 
 
+#: Trace categories that change the emitted source (the others — squash,
+#: token, cache — ride the shared engine/memory methods and need no
+#: emitted call sites).
+EMISSION_TRACE_CATEGORIES = ("firing", "stall")
+
+
+def emit_trace_categories(options):
+    """The emission-relevant trace categories of ``options``, or ``()``.
+
+    Empty whenever tracing is off *or* only categories that need no
+    emitted call sites are enabled — in both cases the emitted source and
+    the cache key are exactly the trace-unaware ones.
+    """
+    config = getattr(options, "trace", None)
+    if config is None or not getattr(config, "enabled", False):
+        return ()
+    categories = getattr(config, "categories", ())
+    return tuple(c for c in EMISSION_TRACE_CATEGORIES if c in categories)
+
+
 def codegen_key(fingerprint, options):
     """Cache key for one (spec fingerprint, engine options) combination.
 
@@ -55,7 +75,9 @@ def codegen_key(fingerprint, options):
     different module shape (``make_step_batched`` with a lane loop sized
     by ``lanes``), so its mode and lane count join the key — scalar and
     batched modules never alias, and changing the batch width misses the
-    old entry.
+    old entry.  Emission-relevant trace categories join the key only when
+    tracing is on (see :func:`emit_trace_categories`), so tracing-off keys
+    are byte-for-byte the pre-tracing ones and warm caches stay warm.
     """
     import repro
     from repro.codegen.emit import CODEGEN_SOURCE_VERSION
@@ -71,6 +93,9 @@ def codegen_key(fingerprint, options):
     ]
     if options.backend == "batched":
         parts.append("batched|lanes=%d" % options.lanes)
+    trace_categories = emit_trace_categories(options)
+    if trace_categories:
+        parts.append("trace=" + ",".join(trace_categories))
     payload = "|".join(parts)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:40]
 

@@ -33,6 +33,14 @@ engine: same statistics counters, same attempt order, same stall
 accounting, same emission-drain timing.  The backend-equivalence matrix
 (``tests/integration/test_backend_equivalence.py``) enforces this for
 every registered model and kernel.
+
+Tracing (:mod:`repro.observe`) is a *traced emission mode*, not a run-time
+branch: when an emission-relevant trace category is enabled
+(:func:`repro.codegen.cache.emit_trace_categories`) the emitter inlines
+``TRF``/``TRS`` calls at exactly the interpreted engine's event sites and
+the cache key gains a ``trace=`` part; with tracing off the emitted source
+is byte-identical to a trace-unaware build and the key is unchanged, so
+the fast path and warm disk caches are untouched.
 """
 
 from __future__ import annotations
@@ -128,6 +136,8 @@ def _assemble_batched(
     need_deposit,
     need_entry,
     need_rbc,
+    traced_firing=False,
+    traced_stall=False,
 ):
     """Write ``make_step_batched(rts)`` around the straight-line step body.
 
@@ -158,6 +168,10 @@ def _assemble_batched(
         entries.append(("pool", "rt['pool']"))
     if need_res:
         entries.append(("RES", "rt['ReservationToken']"))
+    if traced_firing:
+        entries.append(("TRF", "rt['trace_firing']"))
+    if traced_stall:
+        entries.append(("TRS", "rt['trace_stall']"))
     for index in range(len(places)):
         entries.append(("p%d" % index, "_P[%d]" % index))
     stage_binds = False
@@ -261,6 +275,12 @@ def emit_module_source(net, schedule, options, key=None):
     *list* of runtime dicts (one per lane, same spec fingerprint), stepping
     every lane listed in ``active`` in lockstep per call.
     """
+    from repro.codegen.cache import emit_trace_categories
+
+    trace_categories = emit_trace_categories(options)
+    traced_firing = "firing" in trace_categories
+    traced_stall = "stall" in trace_categories
+
     report = EmitReport()
     places = list(schedule.order)
     stages = list(net.stages.values())
@@ -359,6 +379,10 @@ def emit_module_source(net, schedule, options, key=None):
         nonlocal need_pool, need_res, need_deposit, need_entry, need_rbc
         index = transition_index[id(transition)]
         lines = ["tf[%r] += 1" % transition.name]
+        if traced_firing:
+            lines.append(
+                "TRF(cycle, %r, %s)" % (transition.name, "token" if token_mode else "None")
+            )
 
         if token_mode:
             source = transition.source
@@ -457,7 +481,12 @@ def emit_module_source(net, schedule, options, key=None):
             body.w(indent0 + 1, "%s.tokens.extend(%s.pending)" % (pv, pv))
             body.w(indent0 + 1, "%s.pending = []" % pv)
 
-    def emit_attempt_chain(indent, candidates, token_expr):
+    def emit_stall(indent, place_name):
+        body.w(indent, "stats.stalls += 1")
+        if traced_stall:
+            body.w(indent, "TRS(cycle, %r, token)" % place_name)
+
+    def emit_attempt_chain(indent, candidates, token_expr, place_name):
         """One if/elif chain of inlined attempts, else a stall."""
         first = True
         for transition in candidates:
@@ -471,7 +500,7 @@ def emit_module_source(net, schedule, options, key=None):
             body.w(indent + 1, "fired += 1")
             first = False
         body.w(indent, "else:")
-        body.w(indent + 1, "stats.stalls += 1")
+        emit_stall(indent + 1, place_name)
 
     for place in places:
         report.places_emitted += 1
@@ -508,12 +537,12 @@ def emit_module_source(net, schedule, options, key=None):
                 for opclass, candidates in dispatch:
                     keyword = "if" if first else "elif"
                     body.w(inner, "%s _oc == %r:" % (keyword, opclass))
-                    emit_attempt_chain(inner + 1, candidates, "token")
+                    emit_attempt_chain(inner + 1, candidates, "token", place.name)
                     first = False
                 body.w(inner, "else:")
-                body.w(inner + 1, "stats.stalls += 1")
+                emit_stall(inner + 1, place.name)
             else:
-                body.w(inner, "stats.stalls += 1")
+                emit_stall(inner, place.name)
         else:
             if may_hold_reservations:
                 comp = "[t for t in _t if t.is_instruction and t.ready_cycle <= cycle]"
@@ -529,12 +558,12 @@ def emit_module_source(net, schedule, options, key=None):
                 for opclass, candidates in dispatch:
                     keyword = "if" if first else "elif"
                     body.w(inner, "%s _oc == %r:" % (keyword, opclass))
-                    emit_attempt_chain(inner + 1, candidates, "token")
+                    emit_attempt_chain(inner + 1, candidates, "token", place.name)
                     first = False
                 body.w(inner, "else:")
-                body.w(inner + 1, "stats.stalls += 1")
+                emit_stall(inner + 1, place.name)
             else:
-                body.w(inner, "stats.stalls += 1")
+                emit_stall(inner, place.name)
 
     # Generator transitions (the instruction-independent sub-net).
     for transition in schedule.generator_transitions:
@@ -583,6 +612,8 @@ def emit_module_source(net, schedule, options, key=None):
     if batched:
         out.w(0, "EMISSION_MODE = 'batched'")
         out.w(0, "LANES = %d" % options.lanes)
+    if trace_categories:
+        out.w(0, "TRACE_CATEGORIES = %r" % (trace_categories,))
     out.w(0, "")
     out.w(0, "")
     if batched:
@@ -601,6 +632,8 @@ def emit_module_source(net, schedule, options, key=None):
             need_deposit=need_deposit,
             need_entry=need_entry,
             need_rbc=need_rbc,
+            traced_firing=traced_firing,
+            traced_stall=traced_stall,
         )
     else:
         out.w(0, "def make_step(rt):")
@@ -614,6 +647,10 @@ def emit_module_source(net, schedule, options, key=None):
             out.w(1, "pool = rt['pool']")
         if need_res:
             out.w(1, "RES = rt['ReservationToken']")
+        if traced_firing:
+            out.w(1, "TRF = rt['trace_firing']")
+        if traced_stall:
+            out.w(1, "TRS = rt['trace_stall']")
         out.w(1, "P = rt['places']")
         out.w(1, "S = rt['stages']")
         if used_guards:

@@ -135,4 +135,8 @@ def build_runtime(engine, module=None):
         "guards": guards,
         "actions": actions,
         "controls": controls,
+        # Trace hooks for traced-emission modules; untraced modules (and
+        # modules emitted before tracing existed) simply never read them.
+        "trace_firing": getattr(engine, "_trace_firing", None),
+        "trace_stall": getattr(engine, "_trace_stall", None),
     }

@@ -159,6 +159,16 @@ def compile_transition(engine, transition, plan=None, shape=None):
     when omitted it is derived here, mirroring the interpreted
     ``_output_capacity_available`` with the token-dependent parts resolved
     at compile time (in token mode the token is never None).
+
+    When the engine has a firing tracer (``engine._trace_firing``), a
+    *traced* closure is returned instead: the same body with the trace call
+    in exactly the interpreted engine's position (right after the firings
+    counter, before the action runs), so the traced event stream is
+    identical across backends.  The untraced closure stays literally
+    unchanged — tracing-off compiled runs execute the same bytecode as
+    before this layer existed.  Only the closures differ; the
+    :data:`PLAN_CACHE` blueprint stores name-level shapes and is shared
+    between traced and untraced builds.
     """
     ctx = engine.ctx
     net = engine.net
@@ -200,15 +210,70 @@ def compile_transition(engine, transition, plan=None, shape=None):
         elif capacity_stage is not None:
             plan.single_stage_capacity_transitions += 1
 
-    def attempt(token, stats):
-        # ---- enable rule, fully inlined -------------------------------
+    trace_firing = getattr(engine, "_trace_firing", None)
+    if trace_firing is None:
+        def attempt(token, stats):
+            # ---- enable rule, fully inlined ---------------------------
+            for place in reservation_inputs:
+                if not place.has_reservation():
+                    return False
+            if capacity_stage is not None:
+                # Single-comparison fast path (``_occupancy`` is the slot
+                # backing PipelineStage.occupancy; reading it directly
+                # avoids a property call in the hottest check of the
+                # simulation).
+                if capacity_stage._occupancy >= capacity_stage.capacity:
+                    return False
+            elif needed is not None:
+                for stage, count in needed:
+                    if not stage.has_room(count):
+                        return False
+                for stage in capacity_stages:
+                    if not stage.has_room():
+                        return False
+            if guard is not None and not guard(token, ctx):
+                return False
+
+            # ---- fire, fully inlined (same observable order as
+            #      SimulationEngine.fire) -------------------------------
+            stats.transition_firings[name] += 1
+            if token is not None and source is not None:
+                source.remove(token)
+            for place in reservation_inputs:
+                pool.append(place.take_reservation())
+            if action is not None:
+                action(token, ctx)
+            if token is not None and not consumes_token and target is not None:
+                deposit(token, target, delay)
+            for place in reservation_outputs:
+                if pool:
+                    reservation = pool.pop()
+                    reservation.tag = name
+                    reservation.delay_override = None
+                else:
+                    reservation = ReservationToken(tag=name)
+                reservation.producer_seq = token.seq if token is not None else None
+                deposit(reservation, place, delay)
+            queue = engine._emission_queue
+            if queue:
+                engine._emission_queue = []
+                for new_token, destination in queue:
+                    if destination is None:
+                        destination = net.entry_place_for(new_token.opclass)
+                    stats.generated_tokens += 1
+                    deposit(new_token, destination, delay)
+            return True
+
+        return attempt
+
+    # Traced duplicate of the closure above (a wrapper would reorder the
+    # firing event relative to the tokens its action emits).  Keep the two
+    # bodies in lockstep when changing the fire sequence.
+    def attempt_traced(token, stats):
         for place in reservation_inputs:
             if not place.has_reservation():
                 return False
         if capacity_stage is not None:
-            # Single-comparison fast path (``_occupancy`` is the slot
-            # backing PipelineStage.occupancy; reading it directly avoids a
-            # property call in the hottest check of the simulation).
             if capacity_stage._occupancy >= capacity_stage.capacity:
                 return False
         elif needed is not None:
@@ -221,9 +286,8 @@ def compile_transition(engine, transition, plan=None, shape=None):
         if guard is not None and not guard(token, ctx):
             return False
 
-        # ---- fire, fully inlined (same observable order as
-        #      SimulationEngine.fire) -----------------------------------
         stats.transition_firings[name] += 1
+        trace_firing(engine.cycle, name, token)
         if token is not None and source is not None:
             source.remove(token)
         for place in reservation_inputs:
@@ -251,10 +315,10 @@ def compile_transition(engine, transition, plan=None, shape=None):
                 deposit(new_token, destination, delay)
         return True
 
-    return attempt
+    return attempt_traced
 
 
-def compile_place_step(place, attempts_by_opclass):
+def compile_place_step(place, attempts_by_opclass, trace_stall=None):
     """Compile one place into a ``step(cycle, stats) -> fired`` closure.
 
     ``attempts_by_opclass`` maps operation class name to the tuple of
@@ -262,11 +326,39 @@ def compile_place_step(place, attempts_by_opclass):
     the paper's ``sorted_transitions`` dispatch table).  The closure mirrors
     the interpreted ``_process_place``: ready instruction tokens are
     snapshot, tokens moved earlier in the same cycle are skipped, and a
-    token that no transition accepts counts one stall.
+    token that no transition accepts counts one stall.  With ``trace_stall``
+    set a traced duplicate is compiled instead (same stall event placement
+    as the interpreted engine); the untraced closure is unchanged.
     """
     get_attempts = attempts_by_opclass.get
 
-    def place_step(cycle, stats, _place=place, _get=get_attempts):
+    if trace_stall is None:
+        def place_step(cycle, stats, _place=place, _get=get_attempts):
+            stored = _place.tokens
+            if not stored:
+                return 0
+            ready = [t for t in stored if t.is_instruction and t.ready_cycle <= cycle]
+            if not ready:
+                return 0
+            fired = 0
+            for token in ready:
+                if token.place is not _place:
+                    continue  # moved by an earlier firing in this cycle
+                attempts = _get(token.opclass)
+                if attempts:
+                    for attempt in attempts:
+                        if attempt(token, stats):
+                            fired += 1
+                            break
+                    else:
+                        stats.stalls += 1
+                else:
+                    stats.stalls += 1
+            return fired
+
+        return place_step
+
+    def place_step_traced(cycle, stats, _place=place, _get=get_attempts):
         stored = _place.tokens
         if not stored:
             return 0
@@ -285,11 +377,13 @@ def compile_place_step(place, attempts_by_opclass):
                         break
                 else:
                     stats.stalls += 1
+                    trace_stall(cycle, _place.name, token)
             else:
                 stats.stalls += 1
+                trace_stall(cycle, _place.name, token)
         return fired
 
-    return place_step
+    return place_step_traced
 
 
 def compile_generator_step(engine, transitions, plan=None, attempt_factory=None):
@@ -329,6 +423,7 @@ def compile_plan(engine):
     schedule = engine.schedule
     net = engine.net
     attempt_cache = {}
+    trace_stall = getattr(engine, "_trace_stall", None)
 
     fingerprint = getattr(net, "spec_fingerprint", None)
     blueprint = PLAN_CACHE.lookup(fingerprint) if fingerprint is not None else None
@@ -367,7 +462,9 @@ def compile_plan(engine):
                 attempts_by_opclass[opclass] = tuple(
                     attempt_for(transition) for transition in candidates
                 )
-        plan.place_steps.append((place.name, compile_place_step(place, attempts_by_opclass)))
+        plan.place_steps.append(
+            (place.name, compile_place_step(place, attempts_by_opclass, trace_stall=trace_stall))
+        )
 
     plan.generator_step = compile_generator_step(
         engine, schedule.generator_transitions, plan, attempt_factory=attempt_for

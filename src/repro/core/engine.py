@@ -16,6 +16,7 @@ from repro.core.exceptions import SimulationError
 from repro.core.scheduler import StaticSchedule
 from repro.core.statistics import SimulationStatistics
 from repro.core.token import ReservationToken
+from repro.observe.trace import TraceConfig, build_tracer
 
 
 #: Valid values of :attr:`EngineOptions.backend`.
@@ -75,6 +76,15 @@ class EngineOptions:
     the codegen cache key (the emitted lane loop depends on it) but is
     deliberately excluded from campaign run fingerprints, so re-running a
     stored campaign at a different batch width stays 100% cached.
+
+    ``trace`` attaches a cycle-level event tracer
+    (:class:`repro.observe.trace.TraceConfig`, or an equivalent dict from a
+    JSON round-trip; ``None`` means no tracing).  Tracing observes but never
+    perturbs a run: statistics stay bit-identical with tracing on or off,
+    on every backend.  Like ``lanes``, the trace config is a host-side
+    observation knob, excluded from campaign run fingerprints; it enters
+    the codegen cache key only when an emission-relevant category is
+    enabled (see :func:`repro.codegen.cache.emit_trace_categories`).
     """
 
     max_cycles: int = 10_000_000
@@ -84,6 +94,13 @@ class EngineOptions:
     stall_limit: int = 100_000
     backend: str = "interpreted"
     lanes: int = 8
+    trace: object = None
+
+    def __post_init__(self):
+        if isinstance(self.trace, dict):
+            # Campaign specs JSON-round-trip engine options through
+            # dataclasses.asdict; rebuild the nested config.
+            self.trace = TraceConfig(**self.trace)
 
 
 class EngineContext:
@@ -177,20 +194,44 @@ class SimulationEngine:
         self._emission_queue = []
         self._fired_this_cycle = 0
         self._idle_cycles = 0
+        self.tracer = build_tracer(self.options.trace, engine=self)
+        self._bind_trace_hooks()
+
+    def _bind_trace_hooks(self):
+        """Cache per-category tracer methods (``None`` = category off).
+
+        The hot-path sites guard with ``if self._trace_x is not None`` so a
+        tracing-off run pays one attribute load per site at most.
+        """
+        tracer = self.tracer
+        self._trace_firing = tracer.firing if tracer is not None and tracer.wants("firing") else None
+        self._trace_stall = tracer.stall if tracer is not None and tracer.wants("stall") else None
+        self._trace_squash = tracer.squash if tracer is not None and tracer.wants("squash") else None
+        self._trace_token = tracer.token_created if tracer is not None and tracer.wants("token") else None
+        if tracer is not None and tracer.wants("cache"):
+            for unit in self.net.units.values():
+                attach = getattr(unit, "attach_trace", None)
+                if callable(attach):
+                    attach(tracer.cache)
 
     # -- services used by EngineContext -------------------------------------
     def queue_emission(self, token, place=None):
         self._emission_queue.append((token, place))
+        if self._trace_token is not None:
+            self._trace_token(self.cycle, token, place)
 
-    def flush_place(self, place):
+    def flush_place(self, place, cause=None):
         place = self.net._resolve_place(place)
         removed = place.clear()
         squashed = 0
+        trace_squash = self._trace_squash
         for token in removed:
             if token.is_instruction:
                 token.squashed = True
                 token.release_reservations()
                 squashed += 1
+                if trace_squash is not None:
+                    trace_squash(self.cycle, cause or place.name, token)
             else:
                 self._recycle_reservation(token)
         self.stats.squashed += squashed
@@ -209,7 +250,7 @@ class SimulationEngine:
         stage = stage if hasattr(stage, "places") else self.net.stage(stage)
         squashed = 0
         for place in stage.places:
-            squashed += self.flush_place(place)
+            squashed += self.flush_place(place, cause=stage.name)
         return squashed
 
     def flush_younger(self, seq):
@@ -226,6 +267,7 @@ class SimulationEngine:
         backends.
         """
         squashed = 0
+        trace_squash = self._trace_squash
         for place in self.net.places.values():
             if place.is_end:
                 continue
@@ -236,6 +278,8 @@ class SimulationEngine:
                         token.squashed = True
                         token.release_reservations()
                         squashed += 1
+                        if trace_squash is not None:
+                            trace_squash(self.cycle, "younger>%d" % seq, token)
                 else:
                     producer = getattr(token, "producer_seq", None)
                     if producer is not None and producer > seq:
@@ -299,6 +343,8 @@ class SimulationEngine:
         """Fire an enabled transition, moving/creating tokens."""
         self.stats.transition_firings[transition.name] += 1
         self._fired_this_cycle += 1
+        if self._trace_firing is not None:
+            self._trace_firing(self.cycle, transition.name, token)
 
         if token is not None and transition.source is not None:
             transition.source.remove(token)
@@ -359,6 +405,8 @@ class SimulationEngine:
                     break
             if not moved:
                 self.stats.stalls += 1
+                if self._trace_stall is not None:
+                    self._trace_stall(cycle, place.name, token)
 
     def _run_generators(self):
         for transition in self.schedule.generator_transitions:
@@ -436,3 +484,8 @@ class SimulationEngine:
         self._emission_queue = []
         self._fired_this_cycle = 0
         self._idle_cycles = 0
+        if self.tracer is not None:
+            self.tracer.clear()
+            # net.reset() may have rebuilt unit internals (e.g. the memory
+            # hierarchy's cache objects); re-attach the cache hook.
+            self._bind_trace_hooks()

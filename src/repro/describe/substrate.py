@@ -599,6 +599,15 @@ class Processor:
     def stats(self):
         return self.engine.stats
 
+    @property
+    def tracer(self):
+        """The engine's :class:`repro.observe.trace.Tracer`, or ``None``.
+
+        Present when the engine options carried an enabled ``trace``
+        config (``EngineOptions(trace=TraceConfig(...))``).
+        """
+        return getattr(self.engine, "tracer", None)
+
     def load_program(self, program):
         self.memory.load_program(program)
         self.core.reset(entry=program.entry)

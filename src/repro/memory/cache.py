@@ -170,6 +170,10 @@ class Cache:
         self.backing = backing
         self.stats = CacheStatistics()
         self._sets = [_CacheSet() for _ in range(config.num_sets)]
+        #: Optional trace callback ``(level, kind, address, latency)`` with
+        #: kind in {"hit", "miss", "fill", "writeback"}.  Observation only —
+        #: counters and latencies are identical with or without it.
+        self.trace = None
 
     def reset(self):
         """Restore the cold state: statistics cleared and every line invalid."""
@@ -189,6 +193,7 @@ class Cache:
     def access(self, address, is_write=False):
         """Perform one access; returns the latency in cycles."""
         cache_set, tag, index = self._locate(address)
+        trace = self.trace
         self.stats.accesses += 1
         if cache_set.lookup(tag):
             self.stats.hits += 1
@@ -196,10 +201,14 @@ class Cache:
                 cache_set.mark_dirty(tag)
             else:
                 cache_set.touch(tag)
+            if trace is not None:
+                trace(self.config.name, "hit", address, self.config.hit_latency)
             return self.config.hit_latency
 
         self.stats.misses += 1
         latency = self.config.hit_latency + self.config.miss_penalty
+        if trace is not None:
+            trace(self.config.name, "miss", address, latency)
         if self.backing is not None:
             latency += self.backing.access_latency(address)
         evicted = cache_set.insert(tag, self.config.associativity, dirty=is_write)
@@ -208,12 +217,16 @@ class Cache:
             victim_tag, victim_dirty = evicted
             if victim_dirty:
                 self.stats.writebacks += 1
+                victim_address = (
+                    victim_tag * self.config.num_sets + index
+                ) * self.config.line_bytes
+                if trace is not None:
+                    trace(self.config.name, "writeback", victim_address, None)
                 if self.backing is not None:
-                    victim_address = (
-                        victim_tag * self.config.num_sets + index
-                    ) * self.config.line_bytes
                     latency += self.backing.access_latency(victim_address, is_write=True)
         self.stats.miss_cycles += latency
+        if trace is not None:
+            trace(self.config.name, "fill", address, latency)
         return latency
 
     def access_latency(self, address, is_write=False):

@@ -77,7 +77,23 @@ class MemorySystem:
     def __init__(self, config=None):
         self.config = config or MemorySystemConfig()
         self.memory = MainMemory(latency=self.config.memory_latency)
+        self.trace = None
         self._build_caches()
+
+    def attach_trace(self, callback):
+        """Attach a ``(level, kind, address, latency)`` trace callback.
+
+        The attachment survives :meth:`reset` (which rebuilds the cache
+        objects); pass ``None`` to detach.  Tracing is observation only —
+        statistics and latencies are identical with or without it.
+        """
+        self.trace = callback
+        self._attach_trace_to_caches()
+
+    def _attach_trace_to_caches(self):
+        for cache in (self.icache, self.dcache, self.l2):
+            if cache is not None:
+                cache.trace = self.trace
 
     def _build_caches(self):
         config = self.config
@@ -93,6 +109,8 @@ class MemorySystem:
         else:
             self.icache = Cache(config.icache, backing=backing)
             self.dcache = Cache(config.dcache, backing=backing)
+        if self.trace is not None:
+            self._attach_trace_to_caches()
 
     # -- functional interface -------------------------------------------------
     def read_word(self, address):
@@ -111,24 +129,26 @@ class MemorySystem:
         self.memory.load_program(program)
 
     # -- timing interface -----------------------------------------------------
-    def _perfect_access(self, cache):
+    def _perfect_access(self, cache, address):
         # A perfect cache still *sees* the access: counting it as a hit
         # keeps reported access counts and hit rates truthful instead of
         # dividing campaign reports into misleading 0.0 rates.
         cache.stats.accesses += 1
         cache.stats.hits += 1
+        if cache.trace is not None:
+            cache.trace(cache.config.name, "hit", address, cache.config.hit_latency)
         return cache.config.hit_latency
 
     def instruction_delay(self, address):
         """Latency of an instruction fetch at ``address``."""
         if self.config.perfect_caches:
-            return self._perfect_access(self.icache)
+            return self._perfect_access(self.icache, address)
         return self.icache.access(address, is_write=False)
 
     def data_delay(self, address, is_write=False):
         """Latency of a data access at ``address``."""
         if self.config.perfect_caches:
-            return self._perfect_access(self.dcache)
+            return self._perfect_access(self.dcache, address)
         return self.dcache.access(address, is_write=is_write)
 
     # Paper-style alias used in the LoadStore sub-net example (Figure 5).

@@ -1,0 +1,229 @@
+"""Instruction lifetime reconstruction and Konata-style pipeline diagrams.
+
+A trace records *events* (firings, squashes, token creations); this module
+folds them back into per-instruction **lifetime records**: when the
+instruction was fetched (token created), which pipeline stage it occupied
+on every cycle, when it retired, and — if it was squashed — the squash
+cause and cycle.  The reconstruction needs no per-move events on the hot
+path: the trace metadata carries each transition's source/target stage, so
+a firing event *is* a stage move.
+
+``render_pipeline`` draws the records as a Konata-style text diagram (one
+row per instruction, one column per cycle, stage letters marking
+residency), which ``python -m repro.observe view`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageVisit:
+    """One contiguous residency of an instruction in a pipeline stage."""
+
+    stage: str
+    enter: int
+    leave: int = None  # None while the instruction is still there
+
+
+@dataclass
+class InstructionLifetime:
+    """Fetch-to-retire record of one instruction token."""
+
+    seq: int
+    opclass: str = None
+    pc: int = None
+    created: int = None
+    retired: int = None
+    squashed: bool = False
+    squash_cause: str = None
+    squash_cycle: int = None
+    stall_cycles: int = 0
+    visits: list = field(default_factory=list)
+
+    @property
+    def last_cycle(self):
+        """The last cycle this record has evidence for."""
+        candidates = [self.created, self.retired, self.squash_cycle]
+        for visit in self.visits:
+            candidates.append(visit.leave if visit.leave is not None else visit.enter)
+        known = [cycle for cycle in candidates if cycle is not None]
+        return max(known) if known else 0
+
+    def stage_at(self, cycle):
+        """The stage occupied at ``cycle``, or ``None``."""
+        for visit in self.visits:
+            leave = visit.leave if visit.leave is not None else self.last_cycle + 1
+            if visit.enter <= cycle < leave:
+                return visit.stage
+        return None
+
+
+def build_lifetimes(meta, events):
+    """Fold a ``(meta, events)`` trace into ``{seq: InstructionLifetime}``.
+
+    Events may be dicts (from :func:`repro.observe.trace.read_trace`) or
+    the tracer's raw tuples.  Instructions whose creation fell outside the
+    ring window get partial records starting at their first observed event.
+    """
+    transitions = meta.get("transitions") or {}
+    places = meta.get("places") or {}
+    entries = meta.get("entries") or {}
+    records = {}
+
+    def record_for(seq, opclass, pc):
+        record = records.get(seq)
+        if record is None:
+            record = InstructionLifetime(seq=seq, opclass=opclass, pc=pc)
+            records[seq] = record
+        else:
+            if record.opclass is None:
+                record.opclass = opclass
+            if record.pc is None:
+                record.pc = pc
+        return record
+
+    def close_visit(record, cycle):
+        if record.visits and record.visits[-1].leave is None:
+            record.visits[-1].leave = cycle
+
+    def open_visit(record, stage, cycle):
+        if stage is None:
+            return
+        last = record.visits[-1] if record.visits else None
+        if last is not None and last.leave == cycle and last.stage == stage:
+            # Same-stage move (e.g. place-to-place within a stage): extend
+            # the residency instead of opening a zero-width visit.
+            last.leave = None
+            return
+        record.visits.append(StageVisit(stage=stage, enter=cycle))
+
+    for event in events:
+        if not isinstance(event, dict):
+            from repro.observe.trace import event_dict
+
+            event = event_dict(event)
+        category = event["cat"]
+        cycle = event["cycle"]
+        seq = event.get("seq")
+        if seq is None:
+            continue  # generator firings carry no token
+        if category == "token":
+            record = record_for(seq, event.get("opclass"), event.get("pc"))
+            record.created = cycle
+            place = event.get("place")
+            if place is not None:
+                stage = places.get(place)
+            else:
+                entry = entries.get(event.get("opclass"))
+                stage = entry[1] if entry else None
+            open_visit(record, stage, cycle)
+        elif category == "firing":
+            info = transitions.get(event.get("transition"))
+            if info is None:
+                continue
+            record = record_for(seq, event.get("opclass"), event.get("pc"))
+            close_visit(record, cycle)
+            if info.get("end"):
+                record.retired = cycle
+            elif not info.get("consumes"):
+                open_visit(record, info.get("target_stage"), cycle)
+        elif category == "stall":
+            record = record_for(seq, event.get("opclass"), event.get("pc"))
+            record.stall_cycles += 1
+        elif category == "squash":
+            record = record_for(seq, event.get("opclass"), event.get("pc"))
+            close_visit(record, cycle)
+            record.squashed = True
+            record.squash_cause = event.get("cause")
+            record.squash_cycle = cycle
+    return records
+
+
+def _stage_letters(stages):
+    """Assign each stage a distinct single-letter marker for the diagram."""
+    letters = {}
+    used = set()
+    for stage in stages:
+        chosen = None
+        for char in str(stage).upper():
+            if char.isalnum() and char not in used:
+                chosen = char
+                break
+        if chosen is None:
+            for char in "0123456789*#@+":
+                if char not in used:
+                    chosen = char
+                    break
+        letters[stage] = chosen or "?"
+        used.add(letters[stage])
+    return letters
+
+
+def render_pipeline(meta, records, start=None, end=None, limit=None):
+    """Render lifetime records as a Konata-style text pipeline diagram.
+
+    One row per instruction (oldest first), one column per cycle:
+
+    * a stage's letter marks residency (legend printed above the diagram),
+    * ``.`` marks cycles before fetch / after leaving the window,
+    * ``x`` marks the squash cycle of a squashed instruction,
+    * ``=`` marks the retire cycle.
+
+    ``start``/``end`` bound the cycle window; ``limit`` caps the number of
+    instruction rows (the most recent ones are kept, matching what a ring
+    buffer retains).
+    """
+    if not records:
+        return "(no instruction lifetimes in trace)"
+    ordered = sorted(records.values(), key=lambda record: record.seq)
+    if limit is not None and len(ordered) > limit:
+        ordered = ordered[-limit:]
+    first = min(r.created if r.created is not None else r.last_cycle for r in ordered)
+    last = max(r.last_cycle for r in ordered)
+    window_start = first if start is None else max(start, 0)
+    window_end = last + 1 if end is None else end
+    if window_end <= window_start:
+        window_end = window_start + 1
+
+    stages = list(meta.get("stages") or [])
+    for record in ordered:  # stages seen in visits but missing from meta
+        for visit in record.visits:
+            if visit.stage is not None and visit.stage not in stages:
+                stages.append(visit.stage)
+    letters = _stage_letters(stages)
+
+    lines = []
+    lines.append(
+        "model %s  cycles %d..%d  %d instruction(s)"
+        % (meta.get("model") or "?", window_start, window_end - 1, len(ordered))
+    )
+    lines.append(
+        "stages: " + "  ".join("%s=%s" % (letters[name], name) for name in stages)
+    )
+    ruler = []
+    for cycle in range(window_start, window_end):
+        offset = cycle - window_start
+        ruler.append("|" if offset % 10 == 0 else ("+" if offset % 5 == 0 else " "))
+    label_width = 30
+    lines.append(" " * label_width + "".join(ruler) + "  (| every 10 cycles)")
+
+    for record in ordered:
+        row = []
+        for cycle in range(window_start, window_end):
+            if record.squashed and cycle == record.squash_cycle:
+                row.append("x")
+                continue
+            if record.retired is not None and cycle == record.retired:
+                row.append("=")
+                continue
+            stage = record.stage_at(cycle)
+            row.append(letters.get(stage, "?") if stage is not None else ".")
+        pc = "0x%04x" % record.pc if isinstance(record.pc, int) else "?"
+        flags = ""
+        if record.squashed:
+            flags = " squashed(%s)" % (record.squash_cause or "?")
+        label = "i%-6d %-8s %-10s" % (record.seq, pc, record.opclass or "?")
+        lines.append(label[:label_width].ljust(label_width) + "".join(row) + flags)
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Traced emission mode of the source-level code generator.
+
+The byte-identity contract: with tracing off — no ``TraceConfig``, a
+disabled one, or one whose categories the emitter does not specialise on —
+the cache key and the emitted module source are exactly what a
+trace-unaware build produces.  Only enabling an emission-relevant category
+(``firing``/``stall``) changes the key and injects ``TRF``/``TRS`` call
+sites into the source.
+"""
+
+from repro.codegen import codegen_key
+from repro.codegen.cache import EMISSION_TRACE_CATEGORIES, emit_trace_categories
+from repro.codegen.emit import emit_module_source
+from repro.core.engine import EngineOptions, SimulationEngine
+from repro.describe.elaborate import elaborate_net
+from repro.observe.trace import TraceConfig
+from repro.processors import get_spec
+
+FINGERPRINT = "f" * 40
+
+#: Tracing-off variants that must all emit byte-identical modules.
+OFF_OPTIONS = (
+    EngineOptions(backend="generated"),
+    EngineOptions(backend="generated", trace=TraceConfig(enabled=False)),
+    EngineOptions(
+        backend="generated", trace=TraceConfig(categories=("cache", "squash", "token"))
+    ),
+)
+
+TRACED = EngineOptions(backend="generated", trace=TraceConfig())
+
+
+def net_and_schedule(model="arm7-mini"):
+    net, _decoder, _core, _memory, _semantics = elaborate_net(get_spec(model))
+    engine = SimulationEngine(net)
+    return net, engine.schedule
+
+
+def test_emit_trace_categories_only_reports_emission_relevant_ones():
+    assert EMISSION_TRACE_CATEGORIES == ("firing", "stall")
+    for options in OFF_OPTIONS:
+        assert emit_trace_categories(options) == ()
+    assert emit_trace_categories(TRACED) == ("firing", "stall")
+    firing_only = EngineOptions(
+        backend="generated", trace=TraceConfig(categories=("firing", "cache"))
+    )
+    assert emit_trace_categories(firing_only) == ("firing",)
+
+
+def test_codegen_key_unchanged_when_tracing_off():
+    keys = {codegen_key(FINGERPRINT, options) for options in OFF_OPTIONS}
+    assert len(keys) == 1
+    assert codegen_key(FINGERPRINT, TRACED) not in keys
+
+
+def test_codegen_key_differs_per_emitted_category_set():
+    firing_only = EngineOptions(
+        backend="generated", trace=TraceConfig(categories=("firing",))
+    )
+    stall_only = EngineOptions(
+        backend="generated", trace=TraceConfig(categories=("stall",))
+    )
+    keys = {
+        codegen_key(FINGERPRINT, options) for options in (TRACED, firing_only, stall_only)
+    }
+    assert len(keys) == 3
+
+
+def test_tracing_off_source_is_byte_identical():
+    net, schedule = net_and_schedule()
+    sources = [emit_module_source(net, schedule, options)[0] for options in OFF_OPTIONS]
+    assert sources[0] == sources[1] == sources[2]
+    assert "TRF(" not in sources[0]
+    assert "TRS(" not in sources[0]
+    assert "TRACE_CATEGORIES" not in sources[0]
+
+
+def test_traced_source_contains_trace_call_sites():
+    net, schedule = net_and_schedule()
+    untraced = emit_module_source(net, schedule, OFF_OPTIONS[0])[0]
+    traced = emit_module_source(net, schedule, TRACED)[0]
+    assert traced != untraced
+    assert "TRACE_CATEGORIES = ('firing', 'stall')" in traced
+    assert "TRF = rt['trace_firing']" in traced
+    assert "TRS = rt['trace_stall']" in traced
+    assert "TRF(cycle, " in traced
+    assert "TRS(cycle, " in traced
+
+
+def test_batched_emission_honours_the_same_contract():
+    net, schedule = net_and_schedule()
+    off = EngineOptions(backend="batched")
+    off_disabled = EngineOptions(backend="batched", trace=TraceConfig(enabled=False))
+    traced = EngineOptions(backend="batched", trace=TraceConfig())
+    sources = {
+        "off": emit_module_source(net, schedule, off)[0],
+        "disabled": emit_module_source(net, schedule, off_disabled)[0],
+        "traced": emit_module_source(net, schedule, traced)[0],
+    }
+    assert sources["off"] == sources["disabled"]
+    assert "TRF(" not in sources["off"]
+    assert "TRF(cycle, " in sources["traced"]
+    assert "TRS(cycle, " in sources["traced"]
+    assert codegen_key(FINGERPRINT, off) == codegen_key(FINGERPRINT, off_disabled)
+    assert codegen_key(FINGERPRINT, off) != codegen_key(FINGERPRINT, traced)
+
+
+def test_engine_options_coerce_trace_dicts():
+    """JSON round-trips deliver the trace config as a plain dict."""
+    options = EngineOptions(
+        backend="generated",
+        trace={"enabled": True, "capacity": 1000, "categories": ["firing"]},
+    )
+    assert isinstance(options.trace, TraceConfig)
+    assert options.trace.categories == ("firing",)
+    assert emit_trace_categories(options) == ("firing",)
