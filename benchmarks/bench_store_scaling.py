@@ -1,0 +1,121 @@
+"""Sharded result-store scaling — append/load throughput and fault cost.
+
+The campaign store is on every run's critical path (one locked, fsync'd
+append per finished run; one full load per ``status``/``report``/warm
+re-run), so its costs deserve the same regression gate as the engines:
+
+* **Append throughput (measured).**  Locked+fsync'd appends into the
+  sharded layout, per shard count.  More shards should never make
+  appends meaningfully slower (the lock is per shard, the fsync cost is
+  per line either way).
+* **Load throughput (measured).**  Warm full loads of the same store.
+* **Fault cost (deterministic).**  A store salted with torn lines loads
+  the same intact results as a clean one — quarantine is a skip, not a
+  scan restart — and compaction brings it back to byte-clean health.
+"""
+
+import hashlib
+import time
+
+from repro.campaign.store import ResultStore, RunResult, shard_index
+
+from conftest import record_result
+
+RESULTS = 512
+ROUNDS = 3
+SHARD_COUNTS = (1, 4, 16)
+
+
+def _result(index):
+    fingerprint = hashlib.sha256(b"bench-store-%d" % index).hexdigest()
+    return RunResult(
+        fingerprint=fingerprint,
+        campaign="bench",
+        run_id="run-%d" % index,
+        processor="strongarm",
+        workload="crc",
+        scale=1,
+        engine="interpreted",
+        backend="interpreted",
+        repeat=0,
+        cycles=1000 + index,
+        instructions=500 + index,
+        final_r0=0,
+        finish_reason="halt",
+        wall_seconds=0.01,
+    )
+
+
+def _populate(path, shard_count):
+    store = ResultStore(path, shard_count=shard_count)
+    start = time.perf_counter()
+    for index in range(RESULTS):
+        store.append(_result(index))
+    return store, time.perf_counter() - start
+
+
+def test_append_and_load_scaling(tmp_path):
+    for shard_count in SHARD_COUNTS:
+        store, append_wall = _populate(tmp_path / ("s%d" % shard_count), shard_count)
+        assert len(store) == RESULTS
+
+        load_best = 0.0
+        for _ in range(ROUNDS):
+            cold = ResultStore(store.path)
+            start = time.perf_counter()
+            loaded = cold.results()
+            wall = time.perf_counter() - start
+            assert len(loaded) == RESULTS
+            assert cold.shard_count == shard_count  # meta file round-trips
+            if wall > 0:
+                load_best = max(load_best, RESULTS / wall)
+
+        record_result(
+            "Store scaling - locked fsync append / warm load (%d results)" % RESULTS,
+            {
+                "shards": shard_count,
+                "append_per_sec": round(RESULTS / append_wall if append_wall else 0.0, 1),
+                "load_per_sec": round(load_best, 1),
+                "lock_wait_ms": round(store.counters["lock_wait_seconds"] * 1e3, 3),
+            },
+        )
+
+
+def test_quarantine_costs_only_the_torn_lines(tmp_path):
+    store, _ = _populate(tmp_path / "faulty", 8)
+    # Tear the final line of every shard: the classic killed-writer shape.
+    torn = 0
+    for shard in sorted((tmp_path / "faulty" / "shards").glob("*.jsonl")):
+        text = shard.read_text()
+        shard.write_text(text[:-24] + "\n")
+        torn += 1
+    assert torn == 8
+
+    start = time.perf_counter()
+    damaged = ResultStore(store.path)
+    survivors = damaged.results()
+    wall = time.perf_counter() - start
+    assert len(survivors) == RESULTS - torn
+    assert len(damaged.quarantined()) == torn
+    # Quarantine respects shard addressing: every survivor is still in
+    # the shard its fingerprint maps to.
+    for result in survivors[:32]:
+        expected = shard_index(result.fingerprint, damaged.shard_count)
+        assert damaged.shard_path(result.fingerprint).endswith(
+            "%03d.jsonl" % expected
+        )
+
+    report = damaged.compact()
+    clean = ResultStore(store.path)
+    assert report.quarantined_dropped == torn
+    assert len(clean.quarantined()) == 0
+    assert len(clean) == RESULTS - torn
+
+    record_result(
+        "Store scaling - torn-line quarantine (%d results, %d torn)" % (RESULTS, torn),
+        {
+            "survivors": len(survivors),
+            "quarantined": torn,
+            "load_per_sec": round(len(survivors) / wall if wall else 0.0, 1),
+        },
+    )

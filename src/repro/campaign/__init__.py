@@ -6,11 +6,16 @@ this package makes *experiments* declarative: a
 scales × engine variants × repeats — which the planner expands into
 content-fingerprinted :class:`RunSpec`s, the runner executes on a
 ``multiprocessing`` worker pool, and the :class:`ResultStore` persists as
-JSON lines keyed by fingerprint.  Re-running a campaign skips every run
-the store already holds, so campaigns are incremental and resumable, and
-an aggregation API (:mod:`repro.campaign.aggregate`) turns stored results
-into the paper's tables (CPI, per-level cache miss rates, throughput,
-compiled-over-interpreted speedup) plus CSV/JSON exports.
+sharded JSON lines keyed by fingerprint.  Re-running a campaign skips
+every run the store already holds, so campaigns are incremental and
+resumable, and an aggregation API (:mod:`repro.campaign.aggregate`) turns
+stored results into the paper's tables (CPI, per-level cache miss rates,
+throughput, compiled-over-interpreted speedup) plus CSV/JSON exports.
+
+The layer is fault-tolerant end to end: store appends are locked and
+fsync'd, corrupt lines are quarantined instead of raised, failing runs
+are retried with backoff and persist as ``"failed"`` records when their
+budget runs out, and ``compact``/``fsck`` keep long-lived stores healthy.
 
 The CLI mirrors the API::
 
@@ -18,11 +23,14 @@ The CLI mirrors the API::
         --engines interpreted,compiled --store campaign-store --max-workers 4
     python -m repro.campaign status --store campaign-store
     python -m repro.campaign report --store campaign-store --csv results.csv
+    python -m repro.campaign compact --store campaign-store
+    python -m repro.campaign fsck --store campaign-store
 """
 
 from repro.campaign.aggregate import (
     cache_table,
     cpi_table,
+    failure_rows,
     group_results,
     render,
     result_rows,
@@ -53,7 +61,13 @@ from repro.campaign.spec import (
     RunSpec,
     engine_variant,
 )
-from repro.campaign.store import ResultStore, RunResult
+from repro.campaign.store import (
+    CompactionReport,
+    QuarantinedLine,
+    ResultStore,
+    RunResult,
+    shard_index,
+)
 
 __all__ = [
     "ALL",
@@ -61,7 +75,9 @@ __all__ = [
     "CampaignPlan",
     "CampaignReport",
     "CampaignSpec",
+    "CompactionReport",
     "EngineVariant",
+    "QuarantinedLine",
     "ResultStore",
     "RunResult",
     "RunSpec",
@@ -72,12 +88,14 @@ __all__ = [
     "engine_variant",
     "execute_batch",
     "execute_run",
+    "failure_rows",
     "group_results",
     "plan_campaign",
     "render",
     "result_rows",
     "run_campaign",
     "run_single",
+    "shard_index",
     "speedup_table",
     "summarize",
     "throughput_table",

@@ -19,17 +19,30 @@ import json
 from repro.analysis.report import format_table
 
 
-def _as_results(results):
-    """Accept a result iterable, a CampaignReport or a ResultStore."""
+def _as_results(results, ok_only=False):
+    """Accept a result iterable, a CampaignReport or a ResultStore.
+
+    With ``ok_only`` the ``"failed"`` store records are dropped — the
+    simulated-quantity tables must never mix failure rows (zero cycles,
+    zero instructions) into real groups.
+    """
     if hasattr(results, "results"):
         results = results.results
     if callable(results):  # ResultStore.results is a method
         results = results()
-    return list(results)
+    results = list(results)
+    if ok_only:
+        results = [result for result in results if result.ok]
+    return results
 
 
 def result_rows(results):
-    """One flat dictionary per result — the canonical tabular form."""
+    """One flat dictionary per result — the canonical tabular form.
+
+    Failure records are included (``kind`` column ``"failed"``, with the
+    error summary) so CSV exports carry the full store contents; the
+    aggregation tables below filter them out.
+    """
     rows = []
     for result in _as_results(results):
         rows.append(
@@ -40,6 +53,7 @@ def result_rows(results):
                 "engine": result.engine,
                 "backend": result.backend,
                 "repeat": result.repeat,
+                "kind": result.kind,
                 "cycles": result.cycles,
                 "instructions": result.instructions,
                 "cpi": result.cpi,
@@ -47,6 +61,7 @@ def result_rows(results):
                 "wall_seconds": result.wall_seconds,
                 "final_r0": result.final_r0,
                 "finish_reason": result.finish_reason,
+                "error": result.error,
                 "cached": result.cached,
                 "fingerprint": result.fingerprint,
             }
@@ -54,10 +69,30 @@ def result_rows(results):
     return rows
 
 
-def group_results(results, by=("processor", "workload", "scale", "engine")):
-    """Group results by the named attributes; returns ``{key_tuple: [results]}``."""
-    groups = {}
+def failure_rows(results):
+    """One row per ``"failed"`` record: what failed, how often, and why."""
+    rows = []
     for result in _as_results(results):
+        if result.ok:
+            continue
+        rows.append(
+            {
+                "run_id": result.run_id,
+                "processor": result.processor,
+                "workload": result.workload,
+                "scale": result.scale,
+                "engine": result.engine,
+                "attempts": result.attempts,
+                "error": result.error,
+            }
+        )
+    return rows
+
+
+def group_results(results, by=("processor", "workload", "scale", "engine")):
+    """Group successful results by the named attributes; ``{key_tuple: [results]}``."""
+    groups = {}
+    for result in _as_results(results, ok_only=True):
         key = tuple(getattr(result, attribute) for attribute in by)
         groups.setdefault(key, []).append(result)
     return groups

@@ -1,17 +1,24 @@
-"""Command-line interface: ``python -m repro.campaign run|status|report``.
+"""Command-line interface: ``python -m repro.campaign run|status|report|compact|fsck``.
 
 ``run`` executes a campaign (grid flags or a ``--spec`` JSON file) against
 a result store, ``status`` reports how much of a campaign the store
 already holds, and ``report`` renders the aggregation tables (and exports
 CSV/JSON) from a store.  Every command is incremental by construction:
 pointing ``run`` at yesterday's store re-executes only the fingerprints
-that are missing.
+that are missing or previously failed.
+
+``compact`` rewrites a store into the clean sharded layout (migrating the
+legacy single-file layout, dropping duplicate-fingerprint lines and
+quarantined garbage atomically), and ``fsck`` reports store health —
+layout, record counts, failure rows, and any corrupt lines the tolerant
+loader quarantined (exit 0 when clean, 2 when quarantined lines exist).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.campaign import aggregate
@@ -54,6 +61,18 @@ def _grid_arguments(parser):
     parser.add_argument(
         "--max-instructions", type=int, default=None, help="per-run instruction budget"
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="per-run retry budget before a run is recorded as failed",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.1,
+        help="base seconds between retry rounds (doubles each round)",
+    )
 
 
 def _scales(value):
@@ -91,6 +110,8 @@ def _spec_from_args(args):
             repeats=args.repeats,
             max_cycles=args.max_cycles,
             max_instructions=args.max_instructions,
+            max_retries=args.max_retries,
+            retry_backoff_seconds=args.retry_backoff,
         )
         spec.validate()
     # Resolve registry names now, while we are still parsing arguments:
@@ -124,6 +145,13 @@ def _command_run(args, out):
     spec = _spec_from_args(args)
 
     def progress(result):
+        if not result.ok:
+            out.write(
+                "  [FAILED after %d attempt(s)] %s: %s\n"
+                % (result.attempts, result.run_id, result.error)
+            )
+            out.flush()
+            return
         origin = "store" if result.cached else "pid %d" % result.worker_pid
         out.write(
             "  [%s] %s: %d cycles, CPI %.3f\n"
@@ -136,6 +164,7 @@ def _command_run(args, out):
         store=args.store,
         max_workers=args.max_workers,
         progress=progress if args.verbose else None,
+        keep_going=args.keep_going,
     )
     _print_summary(out, report)
     out.write("\n" + aggregate.render(aggregate.summarize(report)) + "\n")
@@ -152,14 +181,37 @@ def _command_status(args, out):
     plan = plan_campaign(spec)
     store = ResultStore(args.store)
     stored = store.load()
-    done = [run for run in plan.runs if run.fingerprint() in stored]
-    pending = [run for run in plan.runs if run.fingerprint() not in stored]
+    done, failed, pending = [], [], []
+    for run in plan.runs:
+        hit = stored.get(run.fingerprint())
+        if hit is None:
+            pending.append(run)
+        elif hit.ok:
+            done.append(run)
+        else:  # a stored failure row: a re-run will retry it
+            failed.append((run, hit))
+            pending.append(run)
     out.write(
-        "campaign %r: %d planned, %d stored, %d pending, %d pairs skipped\n"
-        % (spec.name, len(plan.runs), len(done), len(pending), len(plan.skipped))
+        "campaign %r: %d planned, %d stored, %d failed, %d pending, %d pairs skipped\n"
+        % (
+            spec.name,
+            len(plan.runs),
+            len(done),
+            len(failed),
+            len(pending),
+            len(plan.skipped),
+        )
     )
+    for run, hit in failed:
+        out.write("  failed %s (%d attempt(s)): %s\n" % (run.run_id, hit.attempts, hit.error))
     for run in pending:
         out.write("  pending %s\n" % run.run_id)
+    quarantined = store.quarantined()
+    if quarantined:
+        out.write(
+            "warning: %d corrupt line(s) quarantined; run fsck/compact\n"
+            % len(quarantined)
+        )
     return 0 if not pending else 2
 
 
@@ -170,7 +222,19 @@ def _command_report(args, out):
         out.write("store %s holds no results\n" % store.path)
         return 1
     by = tuple(_split(args.group_by))
-    out.write(aggregate.render(aggregate.summarize(results, by=by)) + "\n")
+    quarantined = store.quarantined()
+    if quarantined:
+        out.write(
+            "warning: %d corrupt line(s) quarantined by the loader; "
+            "run `compact` to shed them\n\n" % len(quarantined)
+        )
+    summary = aggregate.summarize(results, by=by)
+    if summary:
+        out.write(aggregate.render(summary) + "\n")
+    failures = aggregate.failure_rows(results)
+    if failures:
+        out.write("\nfailed runs (retried on the next `run` against this store):\n")
+        out.write(aggregate.render(failures) + "\n")
     caches = aggregate.cache_table(results, by=by)
     if caches:
         out.write("\ncache behaviour (per-level miss rates):\n")
@@ -211,6 +275,46 @@ def _command_report(args, out):
     return 0
 
 
+def _command_compact(args, out):
+    store = ResultStore(args.store)
+    report = store.compact(shard_count=args.shards)
+    out.write(
+        "compacted %s: %d result(s) in %d shard(s); dropped %d duplicate "
+        "line(s) and %d quarantined line(s)%s\n"
+        % (
+            store.path,
+            report.results,
+            report.shards,
+            report.duplicates_dropped,
+            report.quarantined_dropped,
+            "; migrated legacy results.jsonl" if report.migrated_legacy else "",
+        )
+    )
+    return 0
+
+
+def _command_fsck(args, out):
+    store = ResultStore(args.store)
+    if not os.path.isdir(store.path):
+        out.write("store %s does not exist\n" % store.path)
+        return 1
+    health = store.health()
+    out.write(
+        "store %(path)s: layout %(layout)s, %(shard_files)d shard file(s) "
+        "(of %(shard_count)d), %(results)d record(s) "
+        "(%(ok)d ok, %(failed)d failed), %(quarantined)d quarantined line(s)\n"
+        % health
+    )
+    for line in health["quarantined_lines"]:
+        out.write(
+            "  quarantined %(file)s:%(line)d (%(reason)s): %(sample)s\n" % line
+        )
+    if health["quarantined"]:
+        out.write("run `compact` to shed the quarantined lines\n")
+        return 2
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign",
@@ -236,6 +340,12 @@ def build_parser():
         "--expect-all-cached",
         action="store_true",
         help="fail if any run actually executed (CI incrementality check)",
+    )
+    run.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="finish the whole grid (and every retry) before reporting "
+        "collected failures, instead of stopping at the first one",
     )
     run.set_defaults(handler=_command_run)
 
@@ -275,6 +385,28 @@ def build_parser():
         help="export the store's metrics snapshot as JSON",
     )
     report.set_defaults(handler=_command_report)
+
+    compact = commands.add_parser(
+        "compact",
+        help="rewrite a store as clean shards (migrate legacy layout, drop "
+        "duplicate and quarantined lines)",
+    )
+    compact.add_argument("--store", required=True, help="result-store directory")
+    compact.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for the rewritten store (default: keep the store's)",
+    )
+    compact.set_defaults(handler=_command_compact)
+
+    fsck = commands.add_parser(
+        "fsck",
+        help="report store health: layout, record counts, failure rows and "
+        "quarantined corrupt lines (exit 2 when any are present)",
+    )
+    fsck.add_argument("--store", required=True, help="result-store directory")
+    fsck.set_defaults(handler=_command_fsck)
     return parser
 
 

@@ -25,6 +25,21 @@ lockstep as one :class:`repro.batched.LaneBatch`
 (:func:`execute_batch`).  The per-lane :class:`RunResult`s that come out
 are indistinguishable from scalar ones and land in the store under the
 same fingerprints (which deliberately exclude the batch width).
+
+Failures are first-class, not fatal.  A failing work unit is isolated and
+retried: a multi-lane batch that errors is **re-split into scalar runs**
+(one poisoned lane must not take its siblings down — the re-split does
+not charge anyone's retry budget), and a failing scalar run is retried up
+to ``CampaignSpec.max_retries`` times with exponential backoff
+(``retry_backoff_seconds * 2**round`` between retry rounds).  A run that
+exhausts its budget becomes a ``"failed"`` record in the store — error
+and traceback included, visible in ``status``/``report`` — and the
+campaign raises a collected :class:`CampaignError`: immediately after the
+in-flight round by default, or only after the whole grid (and every
+retry) finished when ``keep_going=True`` (CLI ``--keep-going``).  Failed
+store records never satisfy a cache lookup, so re-running the campaign
+retries exactly the failed fingerprints and a success overwrites the
+failure row.
 """
 
 from __future__ import annotations
@@ -39,7 +54,7 @@ from dataclasses import asdict, dataclass
 
 from repro.campaign.planner import plan_campaign
 from repro.campaign.spec import CampaignError, RunSpec, _processor_fingerprint
-from repro.campaign.store import ResultStore, RunResult
+from repro.campaign.store import KIND_FAILED, ResultStore, RunResult
 from repro.observe.metrics import (
     MetricsRegistry,
     merge_cumulative,
@@ -53,6 +68,7 @@ CUMULATIVE_STORE_METRICS = (
     "campaign.store.hits",
     "campaign.store.misses",
     "campaign.store.saved_wall_seconds",
+    "campaign.store.lock_wait_seconds",
 )
 
 METRICS_FILENAME = "metrics.json"
@@ -182,11 +198,42 @@ def _batch_key(run):
 
 @dataclass
 class _RunFailure:
-    """A worker-side exception, reduced to picklable data."""
+    """A worker-side exception, reduced to picklable data.
+
+    ``unit_size`` is how many runs shared the failing work unit: the
+    orchestrator re-splits multi-lane batches into scalar retries instead
+    of charging every sibling's retry budget for one poisoned lane.
+    """
 
     run_id: str
     error: str
     details: str
+    unit_size: int = 1
+
+
+def _failure_result(run, failure, campaign, attempts):
+    """The persistent ``"failed"`` store record for an exhausted run."""
+    return RunResult(
+        fingerprint=run.fingerprint(),
+        campaign=campaign,
+        run_id=run.run_id,
+        processor=run.processor,
+        workload=run.workload,
+        scale=run.scale,
+        engine=run.engine.label,
+        backend=run.engine.backend,
+        repeat=run.repeat,
+        cycles=0,
+        instructions=0,
+        final_r0=0,
+        finish_reason="error",
+        wall_seconds=0.0,
+        worker_pid=os.getpid(),
+        kind=KIND_FAILED,
+        error=failure.error,
+        error_details=failure.details,
+        attempts=attempts,
+    )
 
 
 def _pool_init(sys_path):
@@ -201,19 +248,21 @@ def _pool_worker(payload):
 
     Always returns a list — of :class:`RunResult`s on success, of one
     :class:`_RunFailure` per affected run on error (a failing batch takes
-    all its lanes with it; each lane's row must surface in the report).
+    all its lanes with it; the orchestrator re-splits them into scalar
+    retries so intact siblings still complete).
     """
     runs, campaign = payload
     try:
         if runs[0].engine.backend == "batched":
             return execute_batch(runs, campaign=campaign)
         return [execute_run(run, campaign=campaign) for run in runs]
-    except Exception as error:  # surfaced collectively by run_campaign
+    except Exception as error:  # isolated and retried by run_campaign
         return [
             _RunFailure(
                 run_id=run.run_id,
                 error="%s: %s" % (type(error).__name__, error),
                 details=traceback.format_exc(),
+                unit_size=len(runs),
             )
             for run in runs
         ]
@@ -268,24 +317,34 @@ def run_campaign(
     mp_context=None,
     progress=None,
     metrics=None,
+    keep_going=False,
 ):
     """Plan and execute ``spec``, returning a :class:`CampaignReport`.
 
     ``store`` is a :class:`ResultStore`, a directory path, or ``None`` for
     a purely in-memory campaign.  Runs whose fingerprint the store already
-    holds are served from it without simulating; everything else executes
-    on a pool of ``max_workers`` processes (default: one per host CPU,
-    capped by the number of work units — a unit is one scalar run or one
-    lane batch of ``"batched"`` runs; ``1`` stays in-process).
+    holds as a *successful* record are served from it without simulating
+    (a stored ``"failed"`` record is retried instead); everything else
+    executes on a pool of ``max_workers`` processes (default: one per host
+    CPU, capped by the number of work units — a unit is one scalar run or
+    one lane batch of ``"batched"`` runs; ``1`` stays in-process).
     ``progress``, when given, is called as ``progress(result)`` after each
-    run completes or is served from the store.
+    run completes, fails permanently, or is served from the store.
+
+    Failure policy: failing multi-lane batches are re-split into scalar
+    runs, failing scalar runs are retried up to ``spec.max_retries`` times
+    with exponential backoff, and runs that exhaust the budget are
+    persisted as ``"failed"`` records before a collected
+    :class:`CampaignError` is raised.  ``keep_going=False`` (default)
+    stops launching further work once any run has permanently failed;
+    ``keep_going=True`` finishes the whole grid and every retry first.
 
     ``metrics`` is an optional
     :class:`~repro.observe.metrics.MetricsRegistry` to record into (one is
     created otherwise); the snapshot lands on ``CampaignReport.metrics``
     and — when a store is used — is persisted as ``metrics.json`` next to
-    the store's results file, with the store-level hit/miss/saved counters
-    kept cumulative across invocations.
+    the store's shard files, with the store-level hit/miss/saved/lock-wait
+    counters kept cumulative across invocations.
     """
     registry = metrics if metrics is not None else MetricsRegistry()
     start = time.perf_counter()
@@ -310,6 +369,16 @@ def run_campaign(
     run_wall = registry.histogram(
         "campaign.run.wall_seconds", "per-run host wall-time of executed runs"
     )
+    retry_counter = registry.counter(
+        "campaign.run.retries", "budget-charged re-executions of failing runs"
+    )
+    resplit_counter = registry.counter(
+        "campaign.batch.resplit_runs",
+        "runs re-run as scalars because their lane batch failed",
+    )
+    failure_counter = registry.counter(
+        "campaign.run.failures", "runs that exhausted their retry budget"
+    )
 
     pending = []
     by_fingerprint = {}
@@ -317,7 +386,7 @@ def run_campaign(
     for run in plan.runs:
         fingerprint = run.fingerprint()
         hit = stored.get(fingerprint)
-        if hit is not None:
+        if hit is not None and hit.ok:
             hit.cached = True
             by_fingerprint[fingerprint] = hit
             cached += 1
@@ -326,6 +395,11 @@ def run_campaign(
             if progress is not None:
                 progress(hit)
         else:
+            if hit is not None:  # a stored failure row: retry, never serve
+                registry.counter(
+                    "campaign.store.failed_retried",
+                    "stored failure rows retried instead of served",
+                ).inc()
             store_misses.inc()
             pending.append((fingerprint, run))
 
@@ -353,11 +427,10 @@ def run_campaign(
     registry.gauge("campaign.units", "work units this invocation").set(len(units))
     registry.gauge("campaign.workers.max", "worker-pool size").set(max_workers)
     fingerprint_of = {run.run_id: fp for fp, run in pending}
+    run_by_id = {run.run_id: run for _, run in pending}
     worker_runs = {}
 
     def record(result):
-        if isinstance(result, _RunFailure):
-            return result
         by_fingerprint[fingerprint_of[result.run_id]] = result
         run_wall.observe(result.wall_seconds)
         worker_runs[result.worker_pid] = worker_runs.get(result.worker_pid, 0) + 1
@@ -366,32 +439,67 @@ def run_campaign(
             store.append(result)
         if progress is not None:
             progress(result)
-        return None
 
-    failures = []
+    attempts = {}  # run_id -> budget-charged re-executions so far
+    final_failures = []  # (run, _RunFailure) pairs past their budget
     with registry.timer(
         "campaign.phase.execute_seconds", "wall time executing pending runs"
     ):
-        if units:
-            if max_workers <= 1 or len(units) == 1:
-                for runs in units:
-                    for result in _pool_worker((runs, spec.name)):
-                        failure = record(result)
-                        if failure is not None:
-                            failures.append(failure)
+        pending_units = units
+        round_index = 0
+        stop = False
+        while pending_units and not stop:
+            next_units = []
+            newly_final = []
+
+            def handle(out):
+                if not isinstance(out, _RunFailure):
+                    record(out)
+                    return
+                run = run_by_id[out.run_id]
+                if out.unit_size > 1:
+                    # Failure isolation: the whole batch failed, but only
+                    # one lane may be poisoned.  Re-run every lane as a
+                    # scalar unit without charging anyone's retry budget.
+                    resplit_counter.inc()
+                    next_units.append((run,))
+                    return
+                used = attempts.get(out.run_id, 0)
+                if used < spec.max_retries:
+                    attempts[out.run_id] = used + 1
+                    retry_counter.inc()
+                    next_units.append((run,))
+                else:
+                    newly_final.append((run, out))
+
+            if max_workers <= 1 or len(pending_units) == 1:
+                for unit in pending_units:
+                    for out in _pool_worker((unit, spec.name)):
+                        handle(out)
+                    if newly_final and not keep_going:
+                        stop = True
+                        break
             else:
                 context = multiprocessing.get_context(mp_context)
-                payloads = [(runs, spec.name) for runs in units]
+                payloads = [(unit, spec.name) for unit in pending_units]
                 with context.Pool(
                     processes=max_workers,
                     initializer=_pool_init,
                     initargs=(list(sys.path),),
                 ) as pool:
-                    for results_list in pool.imap_unordered(_pool_worker, payloads):
-                        for result in results_list:
-                            failure = record(result)
-                            if failure is not None:
-                                failures.append(failure)
+                    for outs in pool.imap_unordered(_pool_worker, payloads):
+                        for out in outs:
+                            handle(out)
+                if newly_final and not keep_going:
+                    stop = True
+
+            final_failures.extend(newly_final)
+            if stop or not next_units:
+                break
+            if spec.retry_backoff_seconds > 0:
+                time.sleep(spec.retry_backoff_seconds * (2**round_index))
+            pending_units = next_units
+            round_index += 1
 
     if worker_runs:
         utilisation = registry.histogram(
@@ -403,19 +511,45 @@ def run_campaign(
             "campaign.workers.used", "distinct worker processes that returned results"
         ).set(len(worker_runs))
 
-    if failures:
-        lines = ["campaign %r: %d run(s) failed" % (spec.name, len(failures))]
-        for failure in failures:
-            lines.append("  %s: %s" % (failure.run_id, failure.error))
-        lines.append(failures[0].details)
-        raise CampaignError("\n".join(lines))
+    for run, failure in final_failures:
+        failure_counter.inc()
+        failed = _failure_result(
+            run, failure, spec.name, attempts.get(run.run_id, 0) + 1
+        )
+        if store is not None:
+            store.append(failed)
+        if progress is not None:
+            progress(failed)
 
-    results = tuple(by_fingerprint[run.fingerprint()] for run in plan.runs)
     wall = time.perf_counter() - start
     registry.gauge("campaign.wall_seconds", "total campaign wall time").set(wall)
+    if store is not None:
+        registry.merge_counters(
+            {
+                "campaign.store.lock_wait_seconds": store.counters["lock_wait_seconds"],
+                "campaign.store.quarantined_lines": len(store.quarantined()),
+            },
+            description="result-store health (lock contention, skipped lines)",
+        )
     snapshot = registry.snapshot()
     if store is not None:
         _persist_metrics(store, snapshot)
+
+    if final_failures:
+        lines = [
+            "campaign %r: %d run(s) failed%s"
+            % (
+                spec.name,
+                len(final_failures),
+                "" if keep_going else " (re-run with keep_going to finish the grid)",
+            )
+        ]
+        for run, failure in final_failures:
+            lines.append("  %s: %s" % (failure.run_id, failure.error))
+        lines.append(final_failures[0][1].details)
+        raise CampaignError("\n".join(lines))
+
+    results = tuple(by_fingerprint[run.fingerprint()] for run in plan.runs)
     return CampaignReport(
         spec=spec,
         plan=plan,
@@ -454,13 +588,13 @@ def metrics_path(store):
 
 
 def _persist_metrics(store, snapshot):
-    """Write ``metrics.json`` next to the store's results file.
+    """Write ``metrics.json`` next to the store's shard files.
 
     Per-invocation metrics (phase timings, worker utilisation) are simply
-    overwritten; the store-level hit/miss/saved counters are merged with
-    the previous snapshot so ``report`` can show lifetime cache value.
-    Best-effort: an unwritable store directory loses the snapshot, never
-    the campaign.
+    overwritten; the store-level hit/miss/saved/lock-wait counters are
+    merged with the previous snapshot so ``report`` can show lifetime
+    cache value.  Best-effort: an unwritable store directory loses the
+    snapshot, never the campaign.
     """
     merged = {name: dict(entry) for name, entry in snapshot.items()}
     previous = read_metrics_json(metrics_path(store))

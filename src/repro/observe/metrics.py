@@ -130,6 +130,18 @@ class MetricsRegistry:
         finally:
             counter.inc(time.perf_counter() - start)
 
+    def merge_counters(self, values, description=""):
+        """Fold a plain ``{name: amount}`` mapping into counters.
+
+        Used to adopt counters kept outside the registry — e.g. the
+        result store's lock-wait and quarantine bookkeeping — into the
+        snapshot without threading the registry through those layers.
+        Amounts must be non-negative (counters never decrease).
+        """
+        for name, amount in sorted(values.items()):
+            self.counter(name, description).inc(amount)
+        return self
+
     def __contains__(self, name):
         return name in self._metrics
 

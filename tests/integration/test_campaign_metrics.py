@@ -74,7 +74,10 @@ def test_metrics_json_keeps_store_counters_cumulative(store_and_reports):
         "campaign.store.hits",
         "campaign.store.misses",
         "campaign.store.saved_wall_seconds",
+        "campaign.store.lock_wait_seconds",
     }
+    # Lock wait accumulates too: both invocations appended/locked shards.
+    assert snapshot_value(persisted, "campaign.store.lock_wait_seconds") >= 0
     assert snapshot_value(persisted, "campaign.units") == 0
 
 

@@ -288,6 +288,20 @@ class TestResultStore:
         assert len(reloaded) == 1
         assert reloaded.get("f" * 64).cycles == 200
 
+    def test_results_keep_first_position_with_last_wins_values(self, tmp_path):
+        # The documented order contract: duplicate fingerprints update the
+        # record in place (values from the last write) without moving the
+        # fingerprint from its first-appended position.
+        store = ResultStore(tmp_path / "store")
+        first = _result(fingerprint="a" * 64, cycles=100)
+        second = _result(fingerprint="b" * 64, cycles=200, run_id="other")
+        store.append(first)
+        store.append(second)
+        store.append(_result(fingerprint="a" * 64, cycles=999))
+        reloaded = ResultStore(tmp_path / "store")
+        assert reloaded.fingerprints() == ("a" * 64, "b" * 64)
+        assert [result.cycles for result in reloaded.results()] == [999, 200]
+
     def test_missing_directory_reads_as_empty(self, tmp_path):
         store = ResultStore(tmp_path / "nowhere")
         assert len(store) == 0
@@ -298,8 +312,9 @@ class TestResultStore:
         result = _result()
         result.cached = True
         store.append(result)
-        line = (tmp_path / "store" / "results.jsonl").read_text()
-        assert '"cached"' not in line
+        shards = list((tmp_path / "store" / "shards").glob("*.jsonl"))
+        assert len(shards) == 1
+        assert '"cached"' not in shards[0].read_text()
 
 
 # ---------------------------------------------------------------------------
@@ -333,7 +348,7 @@ class TestRunner:
 
     def test_store_path_accepts_plain_strings(self, tmp_path):
         report = run_campaign(TINY, store=str(tmp_path / "store"), max_workers=1)
-        assert (tmp_path / "store" / "results.jsonl").exists()
+        assert list((tmp_path / "store" / "shards").glob("*.jsonl"))
         assert report.store_path == str(tmp_path / "store")
 
     def test_memory_only_campaign_runs_without_a_store(self):
@@ -376,8 +391,16 @@ class TestRunner:
         )
         with pytest.raises(CampaignError, match="bad-hooks"):
             run_campaign(broken, store=tmp_path / "store", max_workers=1)
-        # The good run still completed and was persisted before the raise.
-        assert len(ResultStore(tmp_path / "store")) == 1
+        # The good run completed and was persisted before the raise, and the
+        # failing run landed as a "failed" record with its traceback.
+        store = ResultStore(tmp_path / "store")
+        assert len(store) == 2
+        kinds = {result.run_id: result for result in store.results()}
+        assert kinds["arm7-mini/crc@1/interpreted"].ok
+        failed = kinds["bad-hooks/crc@1/interpreted"]
+        assert not failed.ok
+        assert failed.finish_reason == "error"
+        assert "no.such.hook" in failed.error_details
 
     def test_budgeted_run_stops_at_the_cycle_budget(self):
         budgeted = CampaignSpec(

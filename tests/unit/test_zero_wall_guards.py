@@ -47,6 +47,16 @@ def run_result(engine, wall_seconds, cycles=1000, repeat=0):
     )
 
 
+def test_run_result_cpi_guards_zero_instructions():
+    """A run that retired nothing has no measurable CPI — 0.0, not inf."""
+    empty = run_result("interpreted", 0.5, cycles=0)
+    assert empty.instructions == 0
+    assert empty.cpi == 0.0
+    assert math.isfinite(empty.cpi)
+    # The guard must not disturb the normal path.
+    assert run_result("interpreted", 0.5, cycles=1000).cpi == 2.0
+
+
 def test_simulation_statistics_rates_guard_zero_wall():
     stats = SimulationStatistics()
     stats.cycles = 1000
