@@ -111,9 +111,12 @@ class InOrderPipelineSimulator:
             entry = self.scoreboard.get(reg)
             if entry is not None and not entry["available"]:
                 return False
-        if self._reads_flags(instr) and self.flags_pending is not None:
-            if not self.flags_pending["available"]:
-                return False
+        if (
+            self._reads_flags(instr)
+            and self.flags_pending is not None
+            and not self.flags_pending["available"]
+        ):
+            return False
         return True
 
     def _destinations_free(self, instr):

@@ -215,6 +215,38 @@ def _command_status(args, out):
     return 0 if not pending else 2
 
 
+def _lint_status(results):
+    """One lint-status line per campaigned model, or ``()`` when unavailable.
+
+    Spec-level only (no elaboration) so ``report`` stays cheap, and fully
+    guarded: a store may reference models the current registry no longer
+    ships, and the report must still render.
+    """
+    try:
+        from repro.analyze import lint_registered, max_severity
+        from repro.processors.registry import get_entry
+    except ImportError:
+        return ()
+    names = sorted({result.processor for result in results})
+    lines = []
+    for name in names:
+        try:
+            get_entry(name)
+            findings = lint_registered(names=(name,), elaborated=False)[name]
+        except Exception as error:
+            lines.append("%s: lint unavailable (%s)" % (name, error))
+            continue
+        if findings:
+            lines.append(
+                "%s: %d finding(s), worst %s (run `python -m repro.analyze "
+                "lint %s` for detail)"
+                % (name, len(findings), max_severity(findings), name)
+            )
+        else:
+            lines.append("%s: CLEAN" % name)
+    return tuple(lines)
+
+
 def _command_report(args, out):
     store = ResultStore(args.store)
     results = store.results()
@@ -248,6 +280,11 @@ def _command_report(args, out):
     if throughput:
         out.write("\nthroughput (batched over generated, rows per host second):\n")
         out.write(aggregate.render(throughput) + "\n")
+    lint_lines = _lint_status(results)
+    if lint_lines:
+        out.write("\nstatic analysis (spec-level lint of the campaigned models):\n")
+        for line in lint_lines:
+            out.write("  %s\n" % line)
     metrics = read_metrics_json(metrics_path(store))
     if metrics:
         hits = int(snapshot_value(metrics, "campaign.store.hits", 0))

@@ -44,6 +44,7 @@ failure row.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import multiprocessing
 import os
@@ -408,7 +409,7 @@ def run_campaign(
     # whole lane batch.  Unit order preserves plan order within each kind.
     units = []
     batch_groups = {}
-    for fingerprint, run in pending:
+    for _fingerprint, run in pending:
         if run.engine.backend != "batched":
             units.append((run,))
             continue
@@ -544,7 +545,7 @@ def run_campaign(
                 "" if keep_going else " (re-run with keep_going to finish the grid)",
             )
         ]
-        for run, failure in final_failures:
+        for _run, failure in final_failures:
             lines.append("  %s: %s" % (failure.run_id, failure.error))
         lines.append(final_failures[0][1].details)
         raise CampaignError("\n".join(lines))
@@ -599,11 +600,9 @@ def _persist_metrics(store, snapshot):
     merged = {name: dict(entry) for name, entry in snapshot.items()}
     previous = read_metrics_json(metrics_path(store))
     merge_cumulative(merged, previous, CUMULATIVE_STORE_METRICS)
-    try:
+    with contextlib.suppress(OSError):
         os.makedirs(store.path, exist_ok=True)
         write_metrics_json(metrics_path(store), merged)
-    except OSError:
-        pass
 
 
 def run_single(

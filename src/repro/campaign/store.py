@@ -36,6 +36,7 @@ last-line-wins rule.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -208,7 +209,7 @@ class ShardLock:
                     if time.perf_counter() > deadline:
                         os.close(self._fd)
                         self._fd = None
-                        raise TimeoutError("timed out locking %s" % self.path)
+                        raise TimeoutError("timed out locking %s" % self.path) from None
                     time.sleep(self.poll_seconds)
         else:  # pragma: no cover - exercised via _force_fallback in tests
             self._acquire_fallback(start)
@@ -226,10 +227,8 @@ class ShardLock:
             except FileExistsError:
                 if time.perf_counter() > deadline:
                     # Assume the holder died; break the stale lock.
-                    try:
+                    with contextlib.suppress(OSError):
                         os.unlink(self.path)
-                    except OSError:
-                        pass
                     deadline = time.perf_counter() + self.timeout
                 time.sleep(self.poll_seconds)
 
@@ -239,10 +238,8 @@ class ShardLock:
         try:
             if self._exclusive_file:
                 os.close(self._fd)
-                try:
+                with contextlib.suppress(OSError):
                     os.unlink(self.path)
-                except OSError:
-                    pass
             elif fcntl is not None:
                 fcntl.flock(self._fd, fcntl.LOCK_UN)
                 os.close(self._fd)
@@ -420,16 +417,15 @@ class ResultStore:
             self._write_meta()
         path = self.shard_path(result.fingerprint)
         line = json.dumps(result.to_json_dict(), sort_keys=True) + "\n"
-        with ShardLock(path) as lock:
-            with open(path, "ab") as handle:
-                if handle.tell() > 0:
-                    with open(path, "rb") as reader:
-                        reader.seek(-1, os.SEEK_END)
-                        if reader.read(1) != b"\n":
-                            handle.write(b"\n")
-                handle.write(line.encode("utf-8"))
-                handle.flush()
-                os.fsync(handle.fileno())
+        with ShardLock(path) as lock, open(path, "ab") as handle:
+            if handle.tell() > 0:
+                with open(path, "rb") as reader:
+                    reader.seek(-1, os.SEEK_END)
+                    if reader.read(1) != b"\n":
+                        handle.write(b"\n")
+            handle.write(line.encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
         self.counters["lock_wait_seconds"] += lock.wait_seconds
         self.counters["lock_acquisitions"] += 1
         self._ensure_loaded()[result.fingerprint] = result
@@ -502,17 +498,11 @@ class ResultStore:
                 os.replace(tmp, path)
             stale.discard(path)
         for path in sorted(stale):
-            with ShardLock(path):
-                try:
-                    os.unlink(path)
-                except FileNotFoundError:
-                    pass
+            with ShardLock(path), contextlib.suppress(FileNotFoundError):
+                os.unlink(path)
         if migrated:
-            with ShardLock(self.results_path):
-                try:
-                    os.unlink(self.results_path)
-                except FileNotFoundError:
-                    pass
+            with ShardLock(self.results_path), contextlib.suppress(FileNotFoundError):
+                os.unlink(self.results_path)
         self._write_meta()
         self.refresh()
         return CompactionReport(

@@ -30,6 +30,7 @@ emit-per-process, not to an error.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import tempfile
@@ -182,7 +183,7 @@ class ModuleCache:
     @staticmethod
     def _read(path):
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 return handle.read()
         except OSError:
             return None
@@ -192,7 +193,8 @@ class ModuleCache:
         """Atomic best-effort write: concurrent campaign workers may race
         on the same key, and a torn write must never leave a half-file."""
         directory = os.path.dirname(path)
-        try:
+        # An unwritable cache dir degrades to emit-per-process.
+        with contextlib.suppress(OSError):
             os.makedirs(directory, exist_ok=True)
             handle = tempfile.NamedTemporaryFile(
                 mode="w",
@@ -209,8 +211,6 @@ class ModuleCache:
             except BaseException:
                 os.unlink(handle.name)
                 raise
-        except OSError:
-            pass  # unwritable cache dir: degrade to emit-per-process
 
     @staticmethod
     def _exec(key, source, path):

@@ -53,7 +53,8 @@ from repro.codegen.runtime import action_plan, guard_plan, structure_digest
 
 #: Bumped whenever the emitted code changes shape; part of the cache key so
 #: stale on-disk modules from older emitters are never loaded.
-CODEGEN_SOURCE_VERSION = 2
+#: 3: DISPATCH/GENERATORS header constants (verified by repro.analyze).
+CODEGEN_SOURCE_VERSION = 3
 
 
 @dataclass
@@ -502,6 +503,11 @@ def emit_module_source(net, schedule, options, key=None):
         body.w(indent, "else:")
         emit_stall(indent + 1, place_name)
 
+    #: (place name, ((opclass, (transition names...)), ...)) per emitted
+    #: place, nonempty entries only — the plan the source claims to
+    #: implement, re-checked against the AST by repro.analyze.sourcecheck.
+    dispatch_table = []
+
     for place in places:
         report.places_emitted += 1
         dispatch = []
@@ -511,6 +517,13 @@ def emit_module_source(net, schedule, options, key=None):
             if candidates:
                 report.nonempty_dispatch_entries += 1
                 dispatch.append((opclass, tuple(candidates)))
+        dispatch_table.append((
+            place.name,
+            tuple(
+                (opclass, tuple(t.name for t in candidates))
+                for opclass, candidates in dispatch
+            ),
+        ))
 
         pv = pvar(place)
         may_hold_reservations = id(place) in reservation_places
@@ -609,6 +622,10 @@ def emit_module_source(net, schedule, options, key=None):
     out.w(0, "PLACES = %r" % (tuple(place.name for place in places),))
     out.w(0, "STAGES = %r" % (tuple(stage.name for stage in stages),))
     out.w(0, "TRANSITIONS = %r" % (tuple(t.name for t in transitions),))
+    out.w(0, "DISPATCH = %r" % (tuple(dispatch_table),))
+    out.w(0, "GENERATORS = %r" % (
+        tuple(t.name for t in schedule.generator_transitions),
+    ))
     if batched:
         out.w(0, "EMISSION_MODE = 'batched'")
         out.w(0, "LANES = %d" % options.lanes)

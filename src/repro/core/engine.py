@@ -353,9 +353,12 @@ class SimulationEngine:
 
         transition.run_action(token, self.ctx)
 
-        if token is not None and not transition.consumes_token:
-            if transition.target is not None:
-                self._deposit(token, transition.target, transition.delay)
+        if (
+            token is not None
+            and not transition.consumes_token
+            and transition.target is not None
+        ):
+            self._deposit(token, transition.target, transition.delay)
         for arc in transition.reservation_outputs:
             reservation = ReservationToken(
                 tag=transition.name,

@@ -46,7 +46,7 @@ class RCPN:
         try:
             return self.stages[name]
         except KeyError:
-            raise ModelError("unknown stage %r" % name)
+            raise ModelError("unknown stage %r" % name) from None
 
     @property
     def end_stage(self):
@@ -92,7 +92,7 @@ class RCPN:
         try:
             return self.places[name]
         except KeyError:
-            raise ModelError("unknown place %r" % name)
+            raise ModelError("unknown place %r" % name) from None
 
     def add_transition(
         self,
@@ -169,7 +169,7 @@ class RCPN:
         try:
             return self.units[name]
         except KeyError:
-            raise ModelError("unknown unit %r" % name)
+            raise ModelError("unknown unit %r" % name) from None
 
     # -- queries -------------------------------------------------------------
     def subnet_for(self, opclass):
@@ -177,7 +177,7 @@ class RCPN:
         try:
             return self._opclass_to_subnet[opclass]
         except KeyError:
-            raise ModelError("no sub-net handles operation class %r" % opclass)
+            raise ModelError("no sub-net handles operation class %r" % opclass) from None
 
     def entry_place_for(self, opclass):
         subnet = self.subnet_for(opclass)

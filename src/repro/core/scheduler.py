@@ -126,9 +126,12 @@ def mark_feedback_places(net, order=None):
         # buffering so the producing cycle cannot consume them immediately.
     for transition in net.transitions:
         for arc in transition.reservation_outputs:
-            if arc.place is not None and transition.source is not None:
-                if position[arc.place.name] >= position[transition.source.name]:
-                    feedback.add(arc.place.name)
+            if (
+                arc.place is not None
+                and transition.source is not None
+                and position[arc.place.name] >= position[transition.source.name]
+            ):
+                feedback.add(arc.place.name)
     return [net.places[name] for name in sorted(feedback)]
 
 

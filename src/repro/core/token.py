@@ -95,7 +95,7 @@ class InstructionToken(Token):
         try:
             operands = object.__getattribute__(self, "operands")
         except AttributeError:
-            raise AttributeError(name)
+            raise AttributeError(name) from None
         if name in operands:
             return operands[name]
         raise AttributeError(

@@ -102,7 +102,7 @@ class ArmSemantics:
             raise KeyError(
                 "unknown semantic hook %r; known hooks: %s"
                 % (name, ", ".join(sorted(self._hooks)))
-            )
+            ) from None
 
     def resolve(self, hook_names):
         """Combine hooks into one ``(guard, action)`` pair for a transition.

@@ -34,6 +34,21 @@ def _tuple(value):
     return tuple(value)
 
 
+def _suggest(name, candidates):
+    """A ``; did you mean 'x'?`` suffix when ``name`` is close to a candidate."""
+    import difflib
+
+    matches = difflib.get_close_matches(str(name), [str(c) for c in candidates], n=1)
+    return "; did you mean %r?" % matches[0] if matches else ""
+
+
+def known_operation_classes():
+    """The operation-class vocabulary paths may use (the ARM six)."""
+    from repro.describe.substrate import arm_operation_classes
+
+    return tuple(opclass.name for opclass in arm_operation_classes())
+
+
 @dataclass(frozen=True)
 class StageSpec:
     """One pipeline stage (latch / buffer): its capacity and residence delay."""
@@ -318,20 +333,21 @@ class MemorySpec:
                 continue
             if not isinstance(level, CacheLevelSpec):
                 problems.append(
-                    "memory level %s must be a CacheLevelSpec, got %r" % (level_name, level)
+                    "%s: memory level must be a CacheLevelSpec, got %r" % (level_name, level)
                 )
                 continue
-            problems.extend(level.problems())
+            problems.extend("%s: %s" % (level_name, problem) for problem in level.problems())
         if self.l1_unified is not None and (
             self.l1_instruction != _default_icache() or self.l1_data != _default_dcache()
         ):
             problems.append(
-                "a unified L1 replaces the split caches; leave "
+                "l1_unified: a unified L1 replaces the split caches; leave "
                 "l1_instruction/l1_data at their defaults"
             )
         if not isinstance(self.memory_latency, int) or self.memory_latency < 0:
             problems.append(
-                "memory latency %r must be a non-negative integer" % (self.memory_latency,)
+                "memory_latency: memory latency %r must be a non-negative integer"
+                % (self.memory_latency,)
             )
         return problems
 
@@ -382,11 +398,37 @@ class PipelineSpec:
         """Check internal consistency; raises :class:`SpecError` on problems."""
         problems = []
         stage_names = self.stage_names()
-        if len(set(stage_names)) != len(stage_names):
-            problems.append("duplicate stage names")
+        duplicate_stages = sorted(
+            {name for name in stage_names if stage_names.count(name) > 1}
+        )
+        if duplicate_stages:
+            problems.append(
+                "stages: duplicate stage name(s) %s"
+                % ", ".join(repr(name) for name in duplicate_stages)
+            )
+        for stage in self.stages:
+            if stage.capacity is not None and (
+                not isinstance(stage.capacity, int)
+                or isinstance(stage.capacity, bool)
+                or stage.capacity < 1
+            ):
+                problems.append(
+                    "stages: stage %r capacity %r must be a positive integer "
+                    "or None (unlimited)" % (stage.name, stage.capacity)
+                )
+            if (
+                not isinstance(stage.delay, int)
+                or isinstance(stage.delay, bool)
+                or stage.delay < 0
+            ):
+                problems.append(
+                    "stages: stage %r delay %r must be a non-negative integer"
+                    % (stage.name, stage.delay)
+                )
         if not self.paths:
-            problems.append("spec declares no operation-class paths")
+            problems.append("paths: spec %r declares no operation-class paths" % self.name)
 
+        known_opclasses = known_operation_classes()
         seen_opclasses = set()
         seen_subnets = {self.fetch.subnet}
         # Transition names must be globally unique (they key the statistics
@@ -394,35 +436,49 @@ class PipelineSpec:
         # transition's name is taken before any path is examined.
         seen_transitions = {self.fetch.name}
         for path in self.paths:
+            if path.opclass not in known_opclasses:
+                problems.append(
+                    "paths: path declares unknown operation class %r%s "
+                    "(known classes: %s)"
+                    % (
+                        path.opclass,
+                        _suggest(path.opclass, known_opclasses),
+                        ", ".join(known_opclasses),
+                    )
+                )
             if path.opclass in seen_opclasses:
-                problems.append("duplicate path for operation class %r" % path.opclass)
+                problems.append("paths: duplicate path for operation class %r" % path.opclass)
             seen_opclasses.add(path.opclass)
             if path.subnet_name in seen_subnets:
-                problems.append("duplicate sub-net name %r" % path.subnet_name)
+                problems.append("paths: duplicate sub-net name %r" % path.subnet_name)
             seen_subnets.add(path.subnet_name)
             if not path.stages:
-                problems.append("path %r has no stages" % path.opclass)
+                problems.append("paths: path %r has no stages" % path.opclass)
             keys = set(path.stages) | {"end"}
             for stage in path.stages:
                 if stage not in stage_names:
                     problems.append(
-                        "path %r uses unknown stage %r" % (path.opclass, stage)
+                        "paths: path %r uses unknown stage %r%s"
+                        % (path.opclass, stage, _suggest(stage, stage_names))
                     )
             for extra in path.extra_places:
                 if extra.stage not in stage_names:
                     problems.append(
-                        "extra place %r of path %r uses unknown stage %r"
-                        % (extra.key, path.opclass, extra.stage)
+                        "paths: extra place %r of path %r uses unknown stage %r%s"
+                        % (extra.key, path.opclass, extra.stage, _suggest(extra.stage, stage_names))
                     )
                 if extra.key in keys:
                     problems.append(
-                        "extra place key %r of path %r collides with a stage"
+                        "paths: extra place key %r of path %r collides with a stage"
                         % (extra.key, path.opclass)
                     )
                 keys.add(extra.key)
             for transition in path.transitions:
                 if transition.name in seen_transitions:
-                    problems.append("duplicate transition name %r" % transition.name)
+                    problems.append(
+                        "paths: duplicate transition name %r (in path %r)"
+                        % (transition.name, path.opclass)
+                    )
                 seen_transitions.add(transition.name)
                 for ref in (
                     (transition.source, transition.target)
@@ -431,24 +487,37 @@ class PipelineSpec:
                 ):
                     if ref not in keys:
                         problems.append(
-                            "transition %r references unknown place %r"
-                            % (transition.name, ref)
+                            "paths: transition %r of path %r references unknown place %r%s"
+                            % (transition.name, path.opclass, ref, _suggest(ref, sorted(keys)))
                         )
 
-        for stage in self.hazards.front_flush_stages + self.hazards.redirect_flush_stages:
+        for stage in self.hazards.front_flush_stages:
             if stage not in stage_names:
-                problems.append("flush stage %r is not a declared stage" % stage)
+                problems.append(
+                    "hazards.front_flush_stages: flush stage %r is not a declared stage%s"
+                    % (stage, _suggest(stage, stage_names))
+                )
+        for stage in self.hazards.redirect_flush_stages:
+            if stage not in stage_names:
+                problems.append(
+                    "hazards.redirect_flush_stages: flush stage %r is not a declared stage%s"
+                    % (stage, _suggest(stage, stage_names))
+                )
         for stage in self.hazards.forward_states:
             # A typo here would not fail at elaboration: can_read(state)
             # simply never matches and the bypass network silently vanishes.
             if stage not in stage_names:
-                problems.append("forward state %r is not a declared stage" % stage)
+                problems.append(
+                    "hazards.forward_states: forward state %r is not a declared stage%s"
+                    % (stage, _suggest(stage, stage_names))
+                )
         if (
             self.hazards.s1_forward_state is not None
             and self.hazards.s1_forward_state not in stage_names
         ):
             problems.append(
-                "s1 forward state %r is not a declared stage" % self.hazards.s1_forward_state
+                "hazards.s1_forward_state: s1 forward state %r is not a declared stage%s"
+                % (self.hazards.s1_forward_state, _suggest(self.hazards.s1_forward_state, stage_names))
             )
         hooks_used = {
             hook
@@ -458,33 +527,48 @@ class PipelineSpec:
         }
         if "branch.resolve" in hooks_used and self.predictor.kind != "btb":
             problems.append(
-                'the "branch.resolve" hook resolves against a branch target '
-                'buffer; declare PredictorSpec(kind="btb")'
+                'predictor.kind: the "branch.resolve" hook resolves against a branch '
+                'target buffer; declare PredictorSpec(kind="btb")'
             )
         if self.fetch.style not in ("sequential", "btb"):
-            problems.append("unknown fetch style %r" % self.fetch.style)
+            problems.append(
+                "fetch.style: unknown fetch style %r (expected 'sequential' or 'btb')"
+                % self.fetch.style
+            )
         if self.fetch.style == "btb" and self.predictor.kind != "btb":
-            problems.append('fetch style "btb" requires predictor kind "btb"')
+            problems.append('fetch.style: fetch style "btb" requires predictor kind "btb"')
         if self.fetch.capacity_stage and self.fetch.capacity_stage not in stage_names:
-            problems.append("fetch capacity stage %r is not declared" % self.fetch.capacity_stage)
+            problems.append(
+                "fetch.capacity_stage: fetch capacity stage %r is not declared%s"
+                % (self.fetch.capacity_stage, _suggest(self.fetch.capacity_stage, stage_names))
+            )
         if self.fetch.stall_stage and self.fetch.stall_stage not in stage_names:
-            problems.append("fetch stall stage %r is not declared" % self.fetch.stall_stage)
+            problems.append(
+                "fetch.stall_stage: fetch stall stage %r is not declared%s"
+                % (self.fetch.stall_stage, _suggest(self.fetch.stall_stage, stage_names))
+            )
         if self.predictor.kind not in (None, "static_not_taken", "btb"):
-            problems.append("unknown predictor kind %r" % self.predictor.kind)
+            problems.append(
+                "predictor.kind: unknown predictor kind %r (expected None, "
+                "'static_not_taken' or 'btb')" % self.predictor.kind
+            )
 
         issue = self.issue
         if not isinstance(issue.width, int) or isinstance(issue.width, bool) or issue.width < 1:
-            problems.append("issue width %r is not a positive integer" % (issue.width,))
+            problems.append("issue.width: issue width %r is not a positive integer" % (issue.width,))
         elif not issue.multi:
             if issue.stage is not None or issue.ports:
                 problems.append(
-                    "issue stage/ports are only meaningful with issue width > 1"
+                    "issue.stage/issue.ports: only meaningful with issue width > 1"
                 )
         else:
             if issue.stage is None:
-                problems.append("multi-issue specs must declare the issue stage")
+                problems.append("issue.stage: multi-issue specs must declare the issue stage")
             elif issue.stage not in stage_names:
-                problems.append("issue stage %r is not a declared stage" % issue.stage)
+                problems.append(
+                    "issue.stage: issue stage %r is not a declared stage%s"
+                    % (issue.stage, _suggest(issue.stage, stage_names))
+                )
             else:
                 for path in self.paths:
                     # The in-order gate blocks younger instructions until every
@@ -492,14 +576,14 @@ class PipelineSpec:
                     # stage would starve the gate and deadlock the pipeline.
                     if issue.stage not in path.stages:
                         problems.append(
-                            "path %r never visits issue stage %r"
+                            "issue.stage: path %r never visits issue stage %r"
                             % (path.opclass, issue.stage)
                         )
             port_names = set()
             ported_classes = set()
             for port in issue.ports:
                 if port.name in port_names:
-                    problems.append("duplicate issue port %r" % port.name)
+                    problems.append("issue.ports: duplicate issue port %r" % port.name)
                 port_names.add(port.name)
                 if (
                     not isinstance(port.count, int)
@@ -507,33 +591,35 @@ class PipelineSpec:
                     or not 1 <= port.count
                 ):
                     problems.append(
-                        "issue port %r count %r is not a positive integer"
+                        "issue.ports: issue port %r count %r is not a positive integer"
                         % (port.name, port.count)
                     )
                 elif port.count > issue.width:
                     problems.append(
-                        "issue port %r count %d exceeds the issue width %d"
+                        "issue.ports: issue port %r count %d exceeds the issue width %d"
                         % (port.name, port.count, issue.width)
                     )
                 if not port.classes:
-                    problems.append("issue port %r constrains no operation class" % port.name)
+                    problems.append(
+                        "issue.ports: issue port %r constrains no operation class" % port.name
+                    )
                 for cls in port.classes:
                     if cls not in seen_opclasses:
                         problems.append(
-                            "issue port %r names unknown operation class %r"
-                            % (port.name, cls)
+                            "issue.ports: issue port %r names unknown operation class %r%s"
+                            % (port.name, cls, _suggest(cls, sorted(seen_opclasses)))
                         )
                     if cls in ported_classes:
                         problems.append(
-                            "operation class %r is constrained by more than one issue port"
-                            % cls
+                            "issue.ports: operation class %r is constrained by more than "
+                            "one issue port" % cls
                         )
                     ported_classes.add(cls)
 
         if isinstance(self.memory, MemorySpec):
-            problems.extend(self.memory.problems())
+            problems.extend("memory: %s" % problem for problem in self.memory.problems())
         else:
-            problems.append("memory must be a MemorySpec, got %r" % (self.memory,))
+            problems.append("memory: must be a MemorySpec, got %r" % (self.memory,))
 
         if problems:
             raise SpecError(

@@ -17,6 +17,7 @@ The assembler accepts a practical subset of the ARM assembly syntax:
 
 from __future__ import annotations
 
+import contextlib
 import re
 from dataclasses import dataclass, field
 
@@ -111,12 +112,10 @@ def _parse_integer(token, symbols, line_number, line):
     if token.startswith("-"):
         sign = -1
         token = token[1:].strip()
-    try:
+    with contextlib.suppress(ValueError):
         if token.lower().startswith("0x"):
             return sign * int(token, 16)
         return sign * int(token, 10)
-    except ValueError:
-        pass
     if token in symbols:
         return sign * symbols[token]
     raise AssemblerError("cannot parse integer or symbol %r" % token, line_number, line)
@@ -196,7 +195,9 @@ def _parse_register(token, line_number, line):
     try:
         return register_number(token)
     except ValueError:
-        raise AssemblerError("expected a register, got %r" % token, line_number, line)
+        raise AssemblerError(
+            "expected a register, got %r" % token, line_number, line
+        ) from None
 
 
 def _split_operands(text):

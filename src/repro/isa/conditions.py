@@ -42,7 +42,7 @@ def condition_from_suffix(suffix):
     try:
         return _SUFFIXES[suffix.lower()]
     except KeyError:
-        raise ValueError("unknown condition suffix: %r" % (suffix,))
+        raise ValueError("unknown condition suffix: %r" % (suffix,)) from None
 
 
 def condition_passes(condition, flags):

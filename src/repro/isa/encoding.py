@@ -247,7 +247,7 @@ def _decode_system(cond, word):
     try:
         op = SystemOp(op_value)
     except ValueError:
-        raise DecodeError("unknown system opcode: %d" % op_value)
+        raise DecodeError("unknown system opcode: %d" % op_value) from None
     return System(cond=cond, op=op, imm=word & 0xFFFFF)
 
 

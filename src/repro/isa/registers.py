@@ -51,7 +51,7 @@ def register_number(name):
         try:
             index = int(token[1:])
         except ValueError:
-            raise ValueError("not a register name: %r" % (name,))
+            raise ValueError("not a register name: %r" % (name,)) from None
         if 0 <= index < NUM_REGISTERS:
             return index
     raise ValueError("not a register name: %r" % (name,))

@@ -43,13 +43,19 @@ class ProcessorEntry:
     description: str = ""
     #: Workload names the model supports, or ``None`` for the full ISA.
     kernels: tuple = FULL_ISA
+    #: Whether ``repro.analyze`` sweeps (``lint --all``, CI gating) include
+    #: this model.  Deliberately-broken fixtures register with
+    #: ``lint=False`` so they do not fail the clean-registry check; the
+    #: analyzer can still lint them when named explicitly.
+    lint: bool = True
 
 
 _REGISTRY = {}
 
 
 def register_processor(
-    name, spec_factory=None, builder=None, description="", kernels=FULL_ISA
+    name, spec_factory=None, builder=None, description="", kernels=FULL_ISA,
+    lint=True,
 ):
     """Register a model under ``name``.
 
@@ -71,6 +77,7 @@ def register_processor(
         spec_factory=spec_factory,
         description=description or (spec_factory().description if spec_factory else ""),
         kernels=tuple(kernels) if kernels is not FULL_ISA else FULL_ISA,
+        lint=bool(lint),
     )
     _REGISTRY[name] = entry
     return entry

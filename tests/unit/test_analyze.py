@@ -1,0 +1,634 @@
+"""Tests for repro.analyze: lint rules, emitted-source verification, CLI.
+
+Every lint rule gets at least one seeded-broken spec (positive) and one
+clean fixture (negative); the registered-model sweep proves the shipped
+registry lints clean; and the AST verifier is driven both over genuine
+engines (clean) and over deliberately tampered emitted source (each SV
+rule fires).
+"""
+
+import io
+import json
+import types
+
+import pytest
+
+from repro.analyze import (
+    RULES,
+    exceeds,
+    lint_model,
+    lint_net,
+    lint_registered,
+    lint_spec,
+    max_severity,
+    record_rule_hits,
+    verify_backend,
+    verify_engine,
+    verify_model,
+)
+from repro.analyze.cli import main as analyze_main
+from repro.core.engine import EngineOptions
+from repro.describe.spec import (
+    CacheLevelSpec,
+    FetchSpec,
+    HazardSpec,
+    IssueSpec,
+    MemorySpec,
+    OpClassPathSpec,
+    PipelineSpec,
+    PlaceSpec,
+    StageSpec,
+    TransitionSpec,
+)
+from repro.processors.registry import build_processor, processor_names
+
+
+def rules_of(findings):
+    return {entry.rule for entry in findings}
+
+
+def mini_spec(
+    path=None,
+    stages=None,
+    hazards=None,
+    issue=None,
+    fetch=None,
+    memory=None,
+):
+    """A minimal clean three-stage single-path pipeline, with overrides."""
+    if path is None:
+        path = OpClassPathSpec(
+            "alu",
+            stages=("F", "X", "W"),
+            transitions=(
+                TransitionSpec("D", "F", "X"),
+                TransitionSpec("E", "X", "W"),
+                TransitionSpec("We", "W", "end"),
+            ),
+        )
+    return PipelineSpec(
+        name="mini",
+        stages=stages or (StageSpec("F"), StageSpec("X"), StageSpec("W")),
+        paths=(path,),
+        hazards=hazards or HazardSpec(forward_states=("W",)),
+        issue=issue or IssueSpec(),
+        fetch=fetch or FetchSpec(),
+        memory=memory or MemorySpec(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spec-level rules (AN0xx)
+# ---------------------------------------------------------------------------
+
+
+def test_mini_spec_lints_clean():
+    assert lint_spec(mini_spec()) == []
+
+
+def test_an001_non_spec_input():
+    findings = lint_spec(object())
+    assert rules_of(findings) == {"AN001"}
+    assert findings[0].severity == "error"
+
+
+def test_an001_validate_rejection_with_did_you_mean():
+    spec = mini_spec(
+        path=OpClassPathSpec(
+            "aluu",
+            stages=("F", "X", "W"),
+            transitions=(
+                TransitionSpec("D", "F", "X"),
+                TransitionSpec("E", "X", "W"),
+                TransitionSpec("We", "W", "end"),
+            ),
+        )
+    )
+    findings = lint_spec(spec)
+    assert rules_of(findings) == {"AN001"}
+    assert any("unknown operation class" in f.message for f in findings)
+    assert any("did you mean 'alu'" in f.message for f in findings)
+
+
+def test_an002_an009_an004_dead_consume_chain():
+    # E consumes a reservation nobody produces: E is dead, a token parked
+    # in X jams (siphon), and the path can never retire.
+    spec = mini_spec(
+        path=OpClassPathSpec(
+            "alu",
+            stages=("F", "X", "W"),
+            extra_places=(PlaceSpec("lock", "X"),),
+            transitions=(
+                TransitionSpec("D", "F", "X"),
+                TransitionSpec("E", "X", "W", consumes=("lock",)),
+                TransitionSpec("We", "W", "end"),
+            ),
+        )
+    )
+    findings = lint_spec(spec)
+    assert {"AN002", "AN009", "AN004", "AN003"} <= rules_of(findings)
+    dead = [f for f in findings if f.rule == "AN002"]
+    assert any("'E'" in f.message and "'lock'" in f.message for f in dead)
+    # 'We' is dead transitively: its source W is never occupied.
+    assert any("'We'" in f.message for f in dead)
+    assert all(f.severity == "error" for f in findings if f.rule == "AN009")
+
+
+def test_an003_skipped_stage_unreachable():
+    spec = mini_spec(
+        path=OpClassPathSpec(
+            "alu",
+            stages=("F", "X", "W"),
+            transitions=(
+                TransitionSpec("D", "F", "X"),
+                TransitionSpec("E", "X", "end"),
+            ),
+        )
+    )
+    findings = lint_spec(spec)
+    assert rules_of(findings) == {"AN003"}
+    assert "'W'" in findings[0].message
+
+
+def test_an005_reservation_leak_names_blocking_stage():
+    spec = mini_spec(
+        path=OpClassPathSpec(
+            "alu",
+            stages=("F", "X", "W"),
+            extra_places=(PlaceSpec("buf", "X"),),
+            transitions=(
+                TransitionSpec("D", "F", "X", produces=("buf",)),
+                TransitionSpec("E", "X", "W"),
+                TransitionSpec("We", "W", "end"),
+            ),
+        )
+    )
+    findings = lint_spec(spec)
+    assert rules_of(findings) == {"AN005"}
+    assert "'buf'" in findings[0].message
+    assert "fills up and blocks" in findings[0].message
+
+
+def test_an005_negative_balanced_reservation():
+    spec = mini_spec(
+        path=OpClassPathSpec(
+            "alu",
+            stages=("F", "X", "W"),
+            extra_places=(PlaceSpec("buf", "X"),),
+            transitions=(
+                TransitionSpec("D", "F", "X", produces=("buf",)),
+                TransitionSpec("E", "X", "W", consumes=("buf",)),
+                TransitionSpec("We", "W", "end"),
+            ),
+        )
+    )
+    assert lint_spec(spec) == []
+
+
+def test_an006_narrow_front_end_stage():
+    spec = mini_spec(
+        stages=(StageSpec("F"), StageSpec("X", capacity=2), StageSpec("W", capacity=2)),
+        issue=IssueSpec(width=2, stage="X"),
+    )
+    findings = lint_spec(spec)
+    assert rules_of(findings) == {"AN006"}
+    assert "'F'" in findings[0].message and "width 2" in findings[0].message
+
+
+def test_an006_negative_wide_front_end():
+    spec = mini_spec(
+        stages=(
+            StageSpec("F", capacity=2),
+            StageSpec("X", capacity=2),
+            StageSpec("W", capacity=2),
+        ),
+        issue=IssueSpec(width=2, stage="X"),
+    )
+    assert lint_spec(spec) == []
+
+
+def test_an007_no_forwarding_on_deep_pipeline():
+    spec = mini_spec(hazards=HazardSpec())
+    findings = lint_spec(spec)
+    assert rules_of(findings) == {"AN007"}
+    assert "stalls until writeback" in findings[0].message
+
+
+def test_an007_negative_s1_forward_state_counts():
+    spec = mini_spec(hazards=HazardSpec(s1_forward_state="W"))
+    assert lint_spec(spec) == []
+
+
+def test_an008_geometry_smells():
+    memory = MemorySpec(
+        l1_data=CacheLevelSpec(
+            name="D$", size_bytes=1024, line_bytes=32, associativity=32
+        ),
+        l2=CacheLevelSpec(
+            name="L2", size_bytes=4096, line_bytes=16, associativity=4, hit_latency=40
+        ),
+    )
+    findings = lint_spec(mini_spec(memory=memory))
+    assert rules_of(findings) == {"AN008"}
+    messages = " | ".join(f.message for f in findings)
+    assert "associativity 32 exceeds" in messages
+    assert "smaller than L1" in messages
+    assert "line size" in messages
+    assert "never pays off" in messages
+
+
+def test_an008_negative_default_memory():
+    assert lint_spec(mini_spec(memory=MemorySpec())) == []
+
+
+def test_an010_unwired_fetch_stall():
+    spec = mini_spec(
+        stages=(
+            StageSpec("F"),
+            StageSpec("X"),
+            StageSpec("W"),
+            StageSpec("FS"),
+        ),
+        fetch=FetchSpec(stall_stage="FS"),
+    )
+    findings = lint_spec(spec)
+    assert rules_of(findings) == {"AN010"}
+    assert "'FS'" in findings[0].message
+
+
+def test_an010_negative_wired_fetch_stall():
+    spec = mini_spec(
+        path=OpClassPathSpec(
+            "alu",
+            stages=("F", "X", "W"),
+            extra_places=(PlaceSpec("stall", "FS"),),
+            transitions=(
+                TransitionSpec("D", "F", "X", produces=("stall",)),
+                TransitionSpec("E", "X", "W", consumes=("stall",)),
+                TransitionSpec("We", "W", "end"),
+            ),
+        ),
+        stages=(
+            StageSpec("F"),
+            StageSpec("X"),
+            StageSpec("W"),
+            StageSpec("FS"),
+        ),
+        fetch=FetchSpec(stall_stage="FS"),
+    )
+    assert lint_spec(spec) == []
+
+
+# ---------------------------------------------------------------------------
+# Net-level rules (AN1xx)
+# ---------------------------------------------------------------------------
+
+
+def test_an101_elaboration_failure_is_a_finding(monkeypatch):
+    from repro.processors import registry
+
+    spec = mini_spec(
+        path=OpClassPathSpec(
+            "alu",
+            stages=("F", "X", "W"),
+            transitions=(
+                TransitionSpec("D", "F", "X", hooks="no.such.hook"),
+                TransitionSpec("E", "X", "W"),
+                TransitionSpec("We", "W", "end"),
+            ),
+        )
+    )
+    monkeypatch.setitem(
+        registry._REGISTRY,
+        "broken-hooks",
+        registry.ProcessorEntry(
+            name="broken-hooks",
+            builder=None,
+            spec_factory=lambda: spec,
+            lint=False,
+        ),
+    )
+    findings = lint_model("broken-hooks")
+    assert rules_of(findings) == {"AN101"}
+    assert findings[0].location == "net:elaborate"
+    # lint=False keeps it out of the default sweep.
+    assert "broken-hooks" not in lint_registered()
+
+
+def test_an102_dead_dispatch_place():
+    net = build_processor("example").net
+    place = net.place("alu.L2")
+    net.transitions = [t for t in net.transitions if t.source is not place]
+    findings = lint_net(net)
+    assert "AN102" in rules_of(findings)
+    assert any("alu.L2" in f.location for f in findings if f.rule == "AN102")
+
+
+def test_an103_orphan_place():
+    net = build_processor("example").net
+    net.add_place(net.stage("L2"), net.subnets["alu"], name="alu.orphan")
+    findings = lint_net(net)
+    assert rules_of(findings) == {"AN103"}
+    assert "alu.orphan" in findings[0].location
+
+
+def test_net_lint_clean_on_shipped_model():
+    assert lint_net(build_processor("example").net) == []
+
+
+# ---------------------------------------------------------------------------
+# Registry sweep: every shipped model lints clean
+# ---------------------------------------------------------------------------
+
+
+def test_all_registered_models_lint_clean():
+    results = lint_registered()
+    assert set(results) == set(processor_names())
+    dirty = {name: findings for name, findings in results.items() if findings}
+    assert dirty == {}
+
+
+def test_lint_registered_records_metrics():
+    from repro.observe.metrics import MetricsRegistry, snapshot_value
+
+    metrics = MetricsRegistry()
+    lint_registered(names=("example",), metrics=metrics)
+    snapshot = metrics.snapshot()
+    assert snapshot_value(snapshot, "analyze.models_clean") == 1
+    assert snapshot_value(snapshot, "analyze.models_dirty") == 0
+
+
+def test_record_rule_hits_counts_by_rule_and_severity():
+    from repro.observe.metrics import MetricsRegistry, snapshot_value
+
+    findings = lint_spec(mini_spec(hazards=HazardSpec()))
+    metrics = MetricsRegistry()
+    record_rule_hits(metrics, findings)
+    snapshot = metrics.snapshot()
+    assert snapshot_value(snapshot, "analyze.rule.AN007") == 1
+    assert snapshot_value(snapshot, "analyze.findings.warning") == 1
+
+
+def test_severity_helpers():
+    findings = lint_spec(mini_spec(hazards=HazardSpec()))
+    assert max_severity(findings) == "warning"
+    assert exceeds(findings, "warning")
+    assert not exceeds(findings, "error")
+    assert max_severity([]) is None
+
+
+# ---------------------------------------------------------------------------
+# Emitted-source verification (SV0xx)
+# ---------------------------------------------------------------------------
+
+VERIFY_MODELS = tuple(processor_names())
+
+
+@pytest.mark.parametrize("model", VERIFY_MODELS)
+@pytest.mark.parametrize("backend", ("generated", "batched"))
+def test_emitted_source_verifies_clean(model, backend):
+    assert verify_model(model, backend=backend) == []
+
+
+@pytest.mark.parametrize("backend", ("generated", "batched"))
+def test_traced_emission_verifies_clean(backend):
+    assert verify_model("example", backend=backend, trace=True) == []
+    assert verify_model("strongarm", backend=backend, trace=True) == []
+
+
+def _engine(model="example", backend="generated", trace=False):
+    options = {"backend": backend}
+    if trace:
+        options["trace"] = {"categories": ("firing", "stall"), "capacity": 64}
+    return build_processor(model, engine_options=EngineOptions(**options)).engine
+
+
+def _tampered(engine, source):
+    return types.SimpleNamespace(
+        net=engine.net,
+        options=engine.options,
+        schedule=engine.schedule,
+        module=engine.module,
+        source=source,
+    )
+
+
+def test_sv001_constant_tamper_detected():
+    engine = _engine()
+    source = engine.source.replace(
+        "MODEL = %r" % engine.net.name, "MODEL = 'someone-else'"
+    )
+    assert source != engine.source
+    findings = verify_engine(_tampered(engine, source))
+    assert "SV001" in rules_of(findings)
+    assert any("MODEL" in f.location for f in findings)
+
+
+def test_sv002_dispatch_branch_tamper_detected():
+    engine = _engine()
+    source = engine.source.replace("_oc == 'alu'", "_oc == 'mul'", 1)
+    assert source != engine.source
+    findings = verify_engine(_tampered(engine, source))
+    assert "SV002" in rules_of(findings)
+
+
+def test_sv003_place_order_tamper_detected():
+    engine = _engine()
+    source = engine.source.replace("_t = p0.tokens", "_t = p99.tokens", 1)
+    assert source != engine.source
+    findings = verify_engine(_tampered(engine, source))
+    assert "SV003" in rules_of(findings)
+
+
+def test_sv004_missing_firing_site_detected():
+    engine = _engine()
+    source = engine.source.replace("tf['D_alu'] += 1", "pass", 1)
+    assert source != engine.source
+    findings = verify_engine(_tampered(engine, source))
+    assert "SV004" in rules_of(findings)
+    assert any("D_alu" in f.location for f in findings if f.rule == "SV004")
+
+
+def test_sv005_stripped_gate_call_detected():
+    import re
+
+    engine = _engine()
+    source = re.sub(r"\bg\d+\(token, ctx\)", "True", engine.source, count=1)
+    assert source != engine.source
+    findings = verify_engine(_tampered(engine, source))
+    assert "SV005" in rules_of(findings)
+
+
+def test_sv006_stripped_trace_sites_detected():
+    engine = _engine(trace=True)
+    assert "TRF(" in engine.source
+    source = "\n".join(
+        line for line in engine.source.splitlines() if "TRF(" not in line
+    )
+    findings = verify_engine(_tampered(engine, source))
+    assert "SV006" in rules_of(findings)
+
+
+def test_sv006_injected_trace_sites_detected():
+    # Tracing off: grafting a traced module's body in must be caught.
+    traced = _engine(trace=True)
+    plain = _engine(trace=False)
+    findings = verify_engine(_tampered(plain, traced.source))
+    assert "SV006" in rules_of(findings)
+
+
+def test_sv007_emit_report_tamper_detected():
+    import re
+
+    engine = _engine()
+    source = re.sub(
+        r"('transitions_compiled': )\d+", r"\g<1>999", engine.source, count=1
+    )
+    assert source != engine.source
+    findings = verify_engine(_tampered(engine, source))
+    assert "SV007" in rules_of(findings)
+
+
+def test_sv008_batched_mode_tamper_detected():
+    engine = _engine(backend="batched")
+    source = engine.source.replace(
+        "EMISSION_MODE = 'batched'", "EMISSION_MODE = 'scalar'"
+    )
+    assert source != engine.source
+    findings = verify_engine(_tampered(engine, source))
+    assert "SV008" in rules_of(findings)
+
+
+# ---------------------------------------------------------------------------
+# Backend coherence (SV1xx)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ("interpreted", "compiled"))
+def test_backend_coherence_clean(backend):
+    assert verify_backend("example", backend) == []
+    assert verify_backend("xscale", backend) == []
+
+
+def test_sv101_schedule_divergence_detected(monkeypatch):
+    import repro.core.scheduler as scheduler
+
+    original = scheduler.place_evaluation_order
+
+    def reversed_order(net):
+        return list(reversed(original(net)))
+
+    monkeypatch.setattr(scheduler, "place_evaluation_order", reversed_order)
+    findings = verify_backend("example", "interpreted")
+    assert "SV101" in rules_of(findings)
+
+
+def test_sv102_plan_summary_divergence_detected(monkeypatch):
+    from repro.compiled.engine import CompiledEngine
+
+    original = CompiledEngine.compilation_summary
+
+    def tampered(self):
+        summary = dict(original(self))
+        summary["transitions_compiled"] = 0
+        return summary
+
+    monkeypatch.setattr(CompiledEngine, "compilation_summary", tampered)
+    findings = verify_backend("example", "compiled")
+    assert "SV102" in rules_of(findings)
+    assert any("transitions_compiled" in f.location for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# Findings plumbing and CLI
+# ---------------------------------------------------------------------------
+
+
+def test_finding_round_trips_through_json():
+    findings = lint_spec(mini_spec(hazards=HazardSpec()))
+    payload = json.loads(json.dumps([f.to_dict() for f in findings]))
+    assert payload[0]["rule"] == "AN007"
+    assert payload[0]["slug"] == RULES["AN007"].slug
+    assert payload[0]["severity"] == "warning"
+
+
+def test_cli_lint_all_clean():
+    out = io.StringIO()
+    assert analyze_main(["lint", "--all", "--fail-on", "warning"], out=out) == 0
+    text = out.getvalue()
+    assert "CLEAN" in text
+    assert "0 finding(s)" in text
+
+
+def test_cli_lint_json_document():
+    out = io.StringIO()
+    assert analyze_main(["lint", "example", "--format", "json"], out=out) == 0
+    document = json.loads(out.getvalue())
+    assert document["command"] == "lint"
+    assert document["clean"] == ["example"]
+    assert document["findings"] == []
+
+
+def test_cli_verify_subset():
+    out = io.StringIO()
+    code = analyze_main(
+        ["verify", "example", "--backends", "interpreted,compiled", "--format", "json"],
+        out=out,
+    )
+    assert code == 0
+    document = json.loads(out.getvalue())
+    assert document["backends"] == ["interpreted", "compiled"]
+    assert document["dirty"] == []
+
+
+def test_cli_fail_on_threshold(monkeypatch):
+    from repro.processors import registry
+
+    monkeypatch.setitem(
+        registry._REGISTRY,
+        "leaky",
+        registry.ProcessorEntry(
+            name="leaky",
+            builder=None,
+            spec_factory=lambda: mini_spec(hazards=HazardSpec()),
+            lint=False,
+        ),
+    )
+    out = io.StringIO()
+    assert analyze_main(["lint", "leaky", "--spec-only"], out=out) == 0
+    out = io.StringIO()
+    assert (
+        analyze_main(["lint", "leaky", "--spec-only", "--fail-on", "warning"], out=out)
+        == 1
+    )
+    assert "AN007" in out.getvalue()
+
+
+def test_cli_rules_catalogue():
+    out = io.StringIO()
+    assert analyze_main(["rules"], out=out) == 0
+    text = out.getvalue()
+    for rule_id in RULES:
+        assert rule_id in text
+
+
+def test_cli_unknown_model_is_an_error():
+    out = io.StringIO()
+    assert analyze_main(["lint", "no-such-model"], out=out) == 1
+    assert "error:" in out.getvalue()
+
+
+def test_cli_requires_target():
+    out = io.StringIO()
+    assert analyze_main(["lint"], out=out) == 1
+    assert "--all" in out.getvalue()
+
+
+def test_cli_metrics_json(tmp_path):
+    out = io.StringIO()
+    path = tmp_path / "metrics.json"
+    assert (
+        analyze_main(["lint", "example", "--metrics-json", str(path)], out=out) == 0
+    )
+    payload = json.loads(path.read_text())
+    assert payload["analyze.models_clean"]["value"] == 1

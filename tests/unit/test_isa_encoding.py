@@ -17,6 +17,7 @@ from repro.isa import (
     decode,
     encode,
 )
+from repro.isa.encoding import EncodeError
 from repro.isa.instructions import Operand2
 
 
@@ -86,7 +87,7 @@ def test_load_store_multiple_register_lists(registers):
 
 
 def test_load_store_multiple_empty_list_rejected():
-    with pytest.raises(Exception):
+    with pytest.raises(EncodeError):
         encode(LoadStoreMultiple(load=True, rn=0, register_list=()))
 
 
